@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench train compile experiments clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Full benchmark harness: one benchmark per paper table/figure.
+bench:
+	go test -bench=. -benchmem -run xxx .
+
+# Rebuild the checked-in model and its compiled form.
+train:
+	go run ./cmd/t3train -scale 0.2 -pergroup 4 -runs 2 -rounds 200 -o models/t3_default.json
+
+compile:
+	go run ./cmd/t3compile -in models/t3_default.json -out internal/compiled/model_gen.go -pkg compiled
+
+# Reproduce every table and figure of the paper (quick config).
+experiments:
+	go run ./cmd/t3bench
+
+clean:
+	go clean ./...

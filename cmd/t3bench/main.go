@@ -1,0 +1,121 @@
+// Command t3bench reproduces the paper's evaluation: every table and figure
+// of §5 can be regenerated individually or as a whole suite.
+//
+// Usage:
+//
+//	t3bench [-full] [experiment ...]
+//
+// Experiments: table1 table2 table3 table4 table5 table6
+//
+//	fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//	ablation (feature-set ablation, an extension beyond the paper)
+//	all (default)
+//
+// The default (quick) configuration finishes in a few minutes; -full uses
+// the paper-scale 200-tree models and the complete query sets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"t3/internal/experiments"
+)
+
+// runner pairs an experiment name with its execution.
+type runner struct {
+	name string
+	run  func(*experiments.Env) (interface{ Format() string }, error)
+}
+
+var runners = []runner{
+	{"table1", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunTable1() }},
+	{"table2", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunTable2() }},
+	{"table3", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunTable3() }},
+	{"table4", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunTable4() }},
+	{"table5", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunTable5() }},
+	{"table6", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunTable6() }},
+	{"fig1", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig1() }},
+	{"fig5", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig5() }},
+	{"fig6", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig6() }},
+	{"fig7", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig7() }},
+	{"fig8", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig8() }},
+	{"fig9", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig9() }},
+	{"fig10", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig10() }},
+	{"fig11", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig11() }},
+	{"fig12", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig12() }},
+	{"fig13", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig13() }},
+	{"fig14", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFig14() }},
+	{"ablation", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunFeatureAblation() }},
+	{"scheduling", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunScheduling() }},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("t3bench: ")
+	full := flag.Bool("full", false, "run the paper-scale configuration (slower)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, len(runners))
+		for i, r := range runners {
+			names[i] = r.name
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := experiments.QuickConfig()
+	if *full {
+		cfg = experiments.FullConfig()
+	}
+	cfg.Corpus.Progress = func(s string) { log.Print(s) }
+	env := experiments.NewEnv(cfg)
+
+	want := flag.Args()
+	expandAll := len(want) == 0
+	for _, w := range want {
+		if w == "all" {
+			expandAll = true
+		}
+	}
+	if expandAll {
+		want = nil
+		for _, r := range runners {
+			want = append(want, r.name)
+		}
+	}
+
+	byName := make(map[string]runner, len(runners))
+	for _, r := range runners {
+		byName[r.name] = r
+	}
+	failed := false
+	for _, name := range want {
+		r, ok := byName[name]
+		if !ok {
+			log.Printf("unknown experiment %q (use -list)", name)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		res, err := r.run(env)
+		if err != nil {
+			log.Printf("%s failed: %v", name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("\n=== %s (%v) ===\n%s", name, time.Since(start).Round(time.Millisecond), res.Format())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command t3compile emits Go source code for a trained T3 model — the
+// repository's analogue of the lleaves LLVM compiler (§2.6 of the paper).
+// Each decision node becomes one comparison and one branch, each leaf a
+// return; the Go compiler turns the output into native machine code when the
+// enclosing package is built.
+//
+// Usage:
+//
+//	t3compile -in models/t3_default.json -out internal/compiled/model_gen.go -pkg compiled
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"t3/internal/gbdt"
+	"t3/internal/treec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("t3compile: ")
+	var (
+		in  = flag.String("in", "models/t3_default.json", "trained model (JSON)")
+		out = flag.String("out", "internal/compiled/model_gen.go", "generated Go file")
+		pkg = flag.String("pkg", "compiled", "package name for the generated file")
+	)
+	flag.Parse()
+
+	model, err := gbdt.Load(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dir := filepath.Dir(*out); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := treec.GenGo(model, *pkg, f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d trees (%d nodes) to %s\n", len(model.Trees), model.NumNodes(), *out)
+}

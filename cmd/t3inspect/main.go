@@ -1,0 +1,115 @@
+// Command t3inspect reports on a trained T3 model: ensemble shape, feature
+// importances (split counts), and the importance rollup per operator stage —
+// a quick way to see what the model learned to pay attention to.
+//
+// Usage:
+//
+//	t3inspect [-model models/t3_default.json] [-top 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"t3/internal/feature"
+	"t3/internal/gbdt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("t3inspect: ")
+	var (
+		modelPath = flag.String("model", "models/t3_default.json", "trained model (JSON)")
+		top       = flag.Int("top", 20, "number of top features to list")
+	)
+	flag.Parse()
+
+	m, err := gbdt.Load(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := feature.NewDefaultRegistry()
+	names := m.FeatureNames
+	if len(names) != m.NumFeatures {
+		if m.NumFeatures == reg.NumFeatures() {
+			names = reg.Names()
+		} else {
+			names = make([]string, m.NumFeatures)
+			for i := range names {
+				names[i] = fmt.Sprintf("f%d", i)
+			}
+		}
+	}
+
+	fmt.Printf("model: %s\n", *modelPath)
+	fmt.Printf("  trees:        %d\n", len(m.Trees))
+	fmt.Printf("  total nodes:  %d\n", m.NumNodes())
+	leaves := 0
+	maxLeaves := 0
+	for i := range m.Trees {
+		n := m.Trees[i].NumLeaves()
+		leaves += n
+		if n > maxLeaves {
+			maxLeaves = n
+		}
+	}
+	fmt.Printf("  total leaves: %d (max %d per tree)\n", leaves, maxLeaves)
+	fmt.Printf("  features:     %d\n", m.NumFeatures)
+	fmt.Printf("  base score:   %.4f\n", m.BaseScore)
+	fmt.Printf("  objective:    %s, learning rate %.3f\n", m.Params.Objective, m.Params.LearningRate)
+
+	imp := m.FeatureImportance()
+	type fi struct {
+		name  string
+		count int
+	}
+	var ranked []fi
+	total := 0
+	for i, c := range imp {
+		if c > 0 {
+			ranked = append(ranked, fi{names[i], c})
+			total += c
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].count > ranked[j].count })
+
+	fmt.Printf("\ntop features by split count (%d splits total):\n", total)
+	n := *top
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	for _, f := range ranked[:n] {
+		fmt.Printf("  %-45s %6d (%4.1f%%)\n", f.name, f.count, 100*float64(f.count)/float64(total))
+	}
+
+	// Rollup per operator stage (the prefix before the basic feature name).
+	stage := map[string]int{}
+	for _, f := range ranked {
+		key := f.name
+		if i := strings.LastIndex(key, "_"); i > 0 {
+			// Names look like HashJoin_Probe_right_percentage; roll up to
+			// the operator_stage prefix (first two segments).
+			parts := strings.SplitN(key, "_", 3)
+			if len(parts) >= 2 {
+				key = parts[0] + "_" + parts[1]
+			}
+		}
+		stage[key] += f.count
+	}
+	type si struct {
+		name  string
+		count int
+	}
+	var stages []si
+	for k, v := range stage {
+		stages = append(stages, si{k, v})
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i].count > stages[j].count })
+	fmt.Println("\nsplit share by operator stage:")
+	for _, s := range stages {
+		fmt.Printf("  %-25s %6d (%4.1f%%)\n", s.name, s.count, 100*float64(s.count)/float64(total))
+	}
+}

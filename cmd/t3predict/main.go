@@ -1,0 +1,73 @@
+// Command t3predict loads a trained T3 model and predicts the execution
+// time of an annotated physical plan given as JSON (see internal/planio for
+// the schema). It prints the total prediction and the per-pipeline
+// breakdown.
+//
+// Usage:
+//
+//	t3predict -model models/t3_default.json [-cards true|est] plan.json
+//	cat plan.json | t3predict -model models/t3_default.json -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"t3"
+	"t3/internal/planio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("t3predict: ")
+	var (
+		modelPath = flag.String("model", "models/t3_default.json", "trained model (JSON)")
+		cards     = flag.String("cards", "true", "cardinality annotations to use: true|est")
+		verbose   = flag.Bool("v", false, "print the feature vectors")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: t3predict [-model m.json] [-cards true|est] <plan.json|->")
+	}
+
+	var data []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	root, err := planio.Unmarshal(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := t3.Load(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := t3.TrueCards
+	if *cards == "est" {
+		mode = t3.EstCards
+	}
+
+	total, per := model.PredictPlan(root, mode)
+	fmt.Printf("predicted execution time: %v\n", total)
+	fmt.Printf("%-10s %14s %14s %14s\n", "pipeline", "per-tuple", "cardinality", "total")
+	for _, p := range per {
+		fmt.Printf("P%-9d %12.3gs %14.0f %14v\n", p.Index, p.PerTupleSeconds, p.Cardinality, p.Total)
+	}
+	if *verbose {
+		vecs, _ := t3.Featurize(root, mode)
+		reg := model.Registry()
+		for i, v := range vecs {
+			fmt.Printf("\npipeline %d features:\n%s", i, reg.Describe(v))
+		}
+	}
+}

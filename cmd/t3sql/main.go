@@ -1,0 +1,140 @@
+// Command t3sql runs SQL queries against a generated benchmark instance,
+// showing the physical plan, T3's per-pipeline prediction, and the measured
+// execution time side by side.
+//
+// Usage:
+//
+//	t3sql [-instance tpch|tpcds|imdb] [-scale 0.05] [-model models/t3_default.json] \
+//	      "SELECT ... FROM ... WHERE ..."
+//
+// Without a query argument it reads one statement per line from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"t3"
+	"t3/internal/engine/exec"
+	"t3/internal/sql"
+	"t3/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("t3sql: ")
+	var (
+		instance  = flag.String("instance", "tpch", "instance schema: tpch|tpcds|imdb")
+		scale     = flag.Float64("scale", 0.05, "instance size multiplier")
+		modelPath = flag.String("model", "models/t3_default.json", "trained T3 model")
+		seed      = flag.Int64("seed", 42, "instance generator seed")
+		explain   = flag.Bool("explain", false, "print the physical plan")
+	)
+	flag.Parse()
+
+	var spec workload.InstanceSpec
+	switch *instance {
+	case "tpch":
+		spec = workload.TPCHSpec("tpch", *scale, *seed)
+	case "tpcds":
+		spec = workload.TPCDSSpec("tpcds", *scale*20, *seed)
+	case "imdb":
+		spec = workload.IMDBSpec("imdb", *scale, *seed)
+	default:
+		log.Fatalf("unknown instance %q", *instance)
+	}
+	log.Printf("generating %s (scale %.2f)...", *instance, *scale)
+	in := workload.MustGenerate(spec)
+	for _, tn := range in.DB.TableNames() {
+		log.Printf("  %-18s %8d rows", tn, in.Table(tn).NumRows())
+	}
+
+	model, err := t3.Load(*modelPath)
+	if err != nil {
+		log.Printf("no model (%v); predictions disabled", err)
+		model = nil
+	}
+	planner := sql.NewPlanner(in.DB, in.Stats)
+
+	runOne := func(query string) {
+		root, err := planner.PlanString(query)
+		if err != nil {
+			log.Printf("error: %v", err)
+			return
+		}
+		if *explain {
+			fmt.Print(root.Explain())
+		}
+		// Annotate true cardinalities with one analyze run, then predict
+		// and time.
+		if err := exec.AnnotateTrueCards(root); err != nil {
+			log.Printf("error: %v", err)
+			return
+		}
+		if model != nil {
+			predTrue, per := model.PredictPlan(root, t3.TrueCards)
+			predEst, _ := model.PredictPlan(root, t3.EstCards)
+			fmt.Printf("T3 predicts %v (true cards) / %v (estimated cards) over %d pipelines\n",
+				predTrue, predEst, len(per))
+		}
+		res, err := exec.Run(root, false)
+		if err != nil {
+			log.Printf("error: %v", err)
+			return
+		}
+		fmt.Printf("executed in %v, %d rows\n", res.Total, res.Rows)
+		printRows(res, 10)
+	}
+
+	if flag.NArg() > 0 {
+		runOne(strings.Join(flag.Args(), " "))
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("enter one SELECT per line (ctrl-D to quit):")
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		runOne(q)
+	}
+}
+
+// printRows renders up to limit result rows.
+func printRows(res *exec.RunResult, limit int) {
+	if res.Output == nil || res.Rows == 0 {
+		return
+	}
+	var header []string
+	for _, c := range res.Output.Cols {
+		header = append(header, c.Name)
+	}
+	fmt.Println(strings.Join(header, " | "))
+	n := res.Rows
+	if n > limit {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		var row []string
+		for _, c := range res.Output.Cols {
+			switch {
+			case c.Ints != nil:
+				row = append(row, fmt.Sprintf("%d", c.Ints[i]))
+			case c.Flts != nil:
+				row = append(row, fmt.Sprintf("%.4g", c.Flts[i]))
+			default:
+				row = append(row, c.Strs[i])
+			}
+		}
+		fmt.Println(strings.Join(row, " | "))
+	}
+	if res.Rows > limit {
+		fmt.Printf("... (%d more rows)\n", res.Rows-limit)
+	}
+}

@@ -1,0 +1,103 @@
+// Command t3train builds the training corpus (generate instances, generate
+// queries, execute and benchmark them), trains a T3 model, evaluates it on
+// the held-out TPC-DS instances, and saves the model as JSON.
+//
+// Usage:
+//
+//	t3train [-scale 0.4] [-pergroup 8] [-runs 3] [-rounds 200] [-seed 1] \
+//	        [-o models/t3_default.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"t3"
+	"t3/internal/benchdata"
+	"t3/internal/qerror"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("t3train: ")
+	var (
+		scale      = flag.Float64("scale", 0.4, "instance size multiplier (1 = full-size lite instances)")
+		perGroup   = flag.Int("pergroup", 8, "generated queries per structure group per instance (paper: 40)")
+		runs       = flag.Int("runs", 3, "timing runs per query (paper: 10)")
+		rounds     = flag.Int("rounds", 200, "boosting rounds")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		out        = flag.String("o", "models/t3_default.json", "output model path")
+		cardMode   = flag.String("cards", "true", "cardinality mode to train on: true|est")
+		saveCorpus = flag.String("save-corpus", "", "save the benchmarked corpus to this path (.json or .json.gz)")
+		loadCorpus = flag.String("load-corpus", "", "retrain from a saved corpus instead of benchmarking")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var corpus *benchdata.Corpus
+	var err error
+	if *loadCorpus != "" {
+		log.Printf("loading corpus from %s...", *loadCorpus)
+		corpus, err = benchdata.LoadCorpus(*loadCorpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := benchdata.Config{
+			Scale:         *scale,
+			PerGroup:      *perGroup,
+			Runs:          *runs,
+			Seed:          *seed,
+			ReleaseTables: true,
+			Progress:      func(s string) { log.Print(s) },
+		}
+		log.Printf("building corpus (scale=%.2f, %d queries/group, %d runs)...", *scale, *perGroup, *runs)
+		corpus, err = benchdata.BuildCorpus(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("corpus ready in %v: %d train + %d test queries",
+		time.Since(start).Round(time.Second), len(corpus.AllTrain()), len(corpus.AllTest()))
+	if *saveCorpus != "" {
+		if err := benchdata.SaveCorpus(corpus, *saveCorpus); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("corpus saved to %s", *saveCorpus)
+	}
+
+	mode := t3.TrueCards
+	if *cardMode == "est" {
+		mode = t3.EstCards
+	}
+	params := t3.DefaultParams()
+	params.NumRounds = *rounds
+	trainStart := time.Now()
+	model, err := t3.Train(corpus.AllTrain(), t3.TrainOptions{Params: params, CardMode: mode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained %d trees in %v", *rounds, time.Since(trainStart).Round(time.Millisecond))
+
+	var es []float64
+	for _, b := range corpus.AllTest() {
+		pred, _ := model.PredictPlan(b.Query.Root, mode)
+		es = append(es, qerror.QError(pred.Seconds(), b.MedianTotal().Seconds()))
+	}
+	s := qerror.Summarize(es)
+	log.Printf("TPC-DS zero-shot accuracy: p50=%.2f p90=%.2f avg=%.2f (n=%d)", s.P50, s.P90, s.Avg, s.N)
+
+	if dir := filepath.Dir(*out); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := model.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model saved to %s\n", *out)
+}

@@ -1,0 +1,74 @@
+// Command t3workload generates and prints the random query workload for an
+// instance, rendered as SQL (via the plan unparser). Useful for inspecting
+// what the 16 structure groups produce and for exporting workloads to other
+// systems.
+//
+// Usage:
+//
+//	t3workload [-instance tpch|tpcds|imdb] [-scale 0.05] [-pergroup 2] [-seed 7] [-group SeJA]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"t3/internal/engine/plan"
+	"t3/internal/sql"
+	"t3/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("t3workload: ")
+	var (
+		instance = flag.String("instance", "tpch", "instance schema: tpch|tpcds|imdb")
+		scale    = flag.Float64("scale", 0.05, "instance size multiplier")
+		perGroup = flag.Int("pergroup", 2, "queries per structure group")
+		seed     = flag.Int64("seed", 7, "generator seed")
+		group    = flag.String("group", "", "only this structure group (e.g. SeJA)")
+		fixed    = flag.Bool("fixed", false, "also print the fixed benchmark queries")
+	)
+	flag.Parse()
+
+	var spec workload.InstanceSpec
+	switch *instance {
+	case "tpch":
+		spec = workload.TPCHSpec("tpch", *scale, *seed)
+	case "tpcds":
+		spec = workload.TPCDSSpec("tpcds", *scale*20, *seed)
+	case "imdb":
+		spec = workload.IMDBSpec("imdb", *scale, *seed)
+	default:
+		log.Fatalf("unknown instance %q", *instance)
+	}
+	in := workload.MustGenerate(spec)
+
+	qs := workload.GenerateQueries(in, workload.GenConfig{PerGroup: *perGroup, Seed: *seed})
+	if *fixed {
+		switch *instance {
+		case "tpch":
+			qs = append(qs, workload.TPCHBenchmarkQueries(in)...)
+		case "tpcds":
+			qs = append(qs, workload.TPCDSBenchmarkQueries(in)...)
+		case "imdb":
+			qs = append(qs, workload.JOBQueries(in)...)
+		}
+	}
+
+	printed := 0
+	for _, q := range qs {
+		if *group != "" && string(q.Group) != *group {
+			continue
+		}
+		text, err := sql.Unparse(q.Root)
+		if err != nil {
+			log.Printf("-- %s: cannot unparse: %v", q.Name, err)
+			continue
+		}
+		fmt.Printf("-- %s (group %s, %d pipelines)\n%s;\n\n",
+			q.Name, q.Group, len(plan.Decompose(q.Root)), text)
+		printed++
+	}
+	log.Printf("%d queries", printed)
+}

@@ -1,0 +1,3 @@
+module t3
+
+go 1.24

@@ -1,0 +1,224 @@
+package benchdata
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"t3/internal/engine/plan"
+	"t3/internal/engine/stats"
+	"t3/internal/feature"
+	"t3/internal/workload"
+)
+
+func smallInstance(t *testing.T) *workload.Instance {
+	t.Helper()
+	return workload.MustGenerate(workload.TPCHSpec("tpch_bd", 0.01, 71))
+}
+
+func TestBenchmarkCollectsPerPipelineTimes(t *testing.T) {
+	in := smallInstance(t)
+	q := workload.TPCHBenchmarkQueries(in)[0]
+	est := &stats.Estimator{DB: in.Stats}
+	b, err := Benchmark(q, 4, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.RunTotals) != 4 {
+		t.Fatalf("runs = %d", len(b.RunTotals))
+	}
+	if len(b.PipelineRuns) != 4 {
+		t.Fatalf("pipeline runs = %d", len(b.PipelineRuns))
+	}
+	for r, times := range b.PipelineRuns {
+		if len(times) != len(b.Pipelines) {
+			t.Fatalf("run %d: %d times for %d pipelines", r, len(times), len(b.Pipelines))
+		}
+	}
+	if b.MedianTotal() <= 0 {
+		t.Error("median total must be positive")
+	}
+	// True cards and estimates must be annotated.
+	if q.Root.OutCard.True < 0 || q.Root.OutCard.Est <= 0 {
+		t.Errorf("annotations missing: %+v", q.Root.OutCard)
+	}
+}
+
+func TestPipelineMedian(t *testing.T) {
+	b := &BenchedQuery{
+		PipelineRuns: [][]time.Duration{
+			{10 * time.Microsecond},
+			{30 * time.Microsecond},
+			{20 * time.Microsecond},
+		},
+	}
+	if got := b.PipelineMedian(0, 0); got != 20*time.Microsecond {
+		t.Errorf("median over all runs = %v", got)
+	}
+	if got := b.PipelineMedian(0, 1); got != 10*time.Microsecond {
+		t.Errorf("median over first run = %v", got)
+	}
+	if got := b.PipelineMedian(0, 2); got != 30*time.Microsecond {
+		t.Errorf("median over two runs = %v (upper median)", got)
+	}
+	if got := b.PipelineMedian(0, 99); got != 20*time.Microsecond {
+		t.Errorf("overlong run count should clamp: %v", got)
+	}
+}
+
+func TestTargetTransformRoundtrip(t *testing.T) {
+	f := func(exp float64) bool {
+		// Per-tuple times from 1e-14 to 1 second.
+		tt := math.Pow(10, -math.Mod(math.Abs(exp), 14))
+		y := TargetTransform(tt)
+		back := InverseTarget(y)
+		return math.Abs(back-tt) < 1e-9*tt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Range claim of the paper: targets land in about [0, 15].
+	if y := TargetTransform(1); y != 0 {
+		t.Errorf("transform(1s) = %v, want 0", y)
+	}
+	if y := TargetTransform(1e-15); math.Abs(y-15) > 1e-9 {
+		t.Errorf("transform(1e-15) = %v, want 15", y)
+	}
+	// Sub-floor values clamp instead of exploding.
+	if y := TargetTransform(1e-30); math.Abs(y-15) > 1e-9 {
+		t.Errorf("transform(1e-30) = %v, want clamp to 15", y)
+	}
+}
+
+func TestExamplesShape(t *testing.T) {
+	in := smallInstance(t)
+	set, err := BenchmarkInstance(in, Config{PerGroup: 1, Runs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := feature.NewDefaultRegistry()
+	xs, ys := Examples(reg, set.Queries, plan.TrueCards, 0)
+	if len(xs) != len(ys) {
+		t.Fatal("example count mismatch")
+	}
+	wantRows := 0
+	for _, b := range set.Queries {
+		wantRows += len(b.Pipelines)
+	}
+	if len(xs) != wantRows {
+		t.Fatalf("%d examples for %d pipelines", len(xs), wantRows)
+	}
+	for i, y := range ys {
+		if math.IsNaN(y) || y < 0 || y > 16 {
+			t.Errorf("target %d = %v out of expected range", i, y)
+		}
+	}
+}
+
+func TestDeviationStats(t *testing.T) {
+	mk := func(times ...time.Duration) *BenchedQuery {
+		return &BenchedQuery{RunTotals: times}
+	}
+	// Identical runs deviate by exactly 1.0.
+	s := DeviationStats([]*BenchedQuery{
+		mk(time.Millisecond, time.Millisecond, time.Millisecond),
+	})
+	if s.N != 1 || s.Avg != 1 {
+		t.Errorf("identical runs: %+v", s)
+	}
+	// One run 2x the median, rest exact: with 3 runs, keep ceil(2) = 2
+	// closest; the furthest kept deviates 1.0 (the outlier is dropped...
+	// unless it is within the kept set).
+	s = DeviationStats([]*BenchedQuery{
+		mk(time.Millisecond, time.Millisecond, 2*time.Millisecond),
+	})
+	if s.N != 1 {
+		t.Fatalf("n = %d", s.N)
+	}
+	if s.Max > 1.01 {
+		t.Errorf("outlier should be trimmed: %+v", s)
+	}
+	// Queries with fewer than 3 runs are skipped.
+	s = DeviationStats([]*BenchedQuery{mk(time.Millisecond)})
+	if s.N != 0 {
+		t.Errorf("short queries should be skipped: %+v", s)
+	}
+}
+
+func TestReleaseTablesPreservesFeaturization(t *testing.T) {
+	in := smallInstance(t)
+	q := workload.TPCHBenchmarkQueries(in)[1]
+	est := &stats.Estimator{DB: in.Stats}
+	b, err := Benchmark(q, 2, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := feature.NewDefaultRegistry()
+	before, _ := reg.PlanVectors(q.Root, plan.TrueCards)
+	b.ReleaseTables()
+	after, _ := reg.PlanVectors(q.Root, plan.TrueCards)
+	for i := range before {
+		for f := range before[i] {
+			if before[i][f] != after[i][f] {
+				t.Fatalf("feature changed after table release")
+			}
+		}
+	}
+}
+
+func TestBuildCorpusTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build in short mode")
+	}
+	var progress int
+	c, err := BuildCorpus(Config{
+		Scale: 0.02, PerGroup: 1, Runs: 1, Seed: 31, ReleaseTables: true,
+		Progress: func(string) { progress++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Train) != 22 {
+		t.Errorf("train instances = %d, want 22", len(c.Train))
+	}
+	if len(c.Test) != 3 {
+		t.Errorf("test instances = %d", len(c.Test))
+	}
+	if progress != 25 {
+		t.Errorf("progress callbacks = %d", progress)
+	}
+	// TrainExcept removes exactly the named instance's queries.
+	all := len(c.AllTrain())
+	without := len(c.TrainExcept("imdb"))
+	var imdbCount int
+	for _, s := range c.Train {
+		if s.Name == "imdb" {
+			imdbCount = len(s.Queries)
+		}
+	}
+	if without != all-imdbCount {
+		t.Errorf("TrainExcept: %d != %d - %d", without, all, imdbCount)
+	}
+}
+
+func TestSplitByGroup(t *testing.T) {
+	in := smallInstance(t)
+	set, err := BenchmarkInstance(in, Config{PerGroup: 2, Runs: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := set.Split(workload.GroupSe)
+	if len(se) == 0 {
+		t.Fatal("no Se queries")
+	}
+	for _, b := range se {
+		if b.Query.Group != workload.GroupSe {
+			t.Errorf("wrong group %s", b.Query.Group)
+		}
+	}
+	fixed := set.Split(workload.GroupFixed)
+	if len(fixed) == 0 {
+		t.Error("TPC-H instance should include fixed benchmark queries")
+	}
+}

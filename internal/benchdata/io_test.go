@@ -1,0 +1,95 @@
+package benchdata
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"t3/internal/engine/plan"
+	"t3/internal/feature"
+)
+
+// buildTinyCorpus makes a minimal corpus for persistence tests.
+func buildTinyCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	in := smallInstance(t)
+	set, err := BenchmarkInstance(in, Config{PerGroup: 1, Runs: 2, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Corpus{Train: []*InstanceSet{set}, Test: []*InstanceSet{{Name: "empty"}}}
+}
+
+func TestCorpusRoundtrip(t *testing.T) {
+	c := buildTinyCorpus(t)
+	for _, path := range []string{
+		filepath.Join(t.TempDir(), "corpus.json"),
+		filepath.Join(t.TempDir(), "corpus.json.gz"),
+	} {
+		if err := SaveCorpus(c, path); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadCorpus(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Train) != 1 || back.Train[0].Name != c.Train[0].Name {
+			t.Fatalf("%s: structure lost", path)
+		}
+		orig := c.Train[0].Queries
+		got := back.Train[0].Queries
+		if len(got) != len(orig) {
+			t.Fatalf("%s: %d queries, want %d", path, len(got), len(orig))
+		}
+		reg := feature.NewDefaultRegistry()
+		for i := range orig {
+			if got[i].Query.Name != orig[i].Query.Name || got[i].Query.Group != orig[i].Query.Group {
+				t.Fatalf("query %d metadata lost", i)
+			}
+			if got[i].MedianTotal() != orig[i].MedianTotal() {
+				t.Fatalf("query %d timings lost", i)
+			}
+			// The training examples derived from the loaded corpus must be
+			// identical: same vectors, same targets.
+			ox, oy := Examples(reg, orig[i:i+1], plan.TrueCards, 0)
+			gx, gy := Examples(reg, got[i:i+1], plan.TrueCards, 0)
+			if len(ox) != len(gx) {
+				t.Fatalf("query %d: example count changed", i)
+			}
+			for p := range ox {
+				if oy[p] != gy[p] {
+					t.Fatalf("query %d pipeline %d: target %v != %v", i, p, gy[p], oy[p])
+				}
+				for f := range ox[p] {
+					if ox[p][f] != gx[p][f] {
+						t.Fatalf("query %d pipeline %d feature %d changed", i, p, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLoadCorpusErrors(t *testing.T) {
+	if _, err := LoadCorpus(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, `{"version": 99}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(bad); err == nil {
+		t.Error("unsupported version should fail")
+	}
+	notJSON := filepath.Join(t.TempDir(), "garbage.json")
+	if err := writeFile(notJSON, "{]"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(notJSON); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"testing"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// Engine micro-benchmarks: per-operator throughput of the execution
+// substrate. These are not paper experiments; they document the engine's
+// performance characteristics (the non-linearities T3 must learn).
+
+func benchTable(n int) *storage.Table {
+	return mkTable("bench", n, 99)
+}
+
+func BenchmarkTableScan(b *testing.B) {
+	tab := benchTable(100000)
+	scan := plan.NewTableScan(tab, []int{0, 1, 2})
+	gb := plan.NewGroupBy(scan, nil, []plan.Agg{{Fn: plan.AggCount}}, []string{"c"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(gb, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(tab.NumRows() * 24))
+}
+
+func BenchmarkTableScanWithPredicates(b *testing.B) {
+	tab := benchTable(100000)
+	scan := plan.NewTableScan(tab, []int{0, 1, 2},
+		expr.NewCmp(expr.Lt, expr.Col(1, "key", storage.Int64), expr.ConstInt(10000)),
+		expr.NewBetween(expr.Col(2, "val", storage.Float64), expr.ConstFloat(10), expr.ConstFloat(90)),
+	)
+	gb := plan.NewGroupBy(scan, nil, []plan.Agg{{Fn: plan.AggCount}}, []string{"c"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(gb, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(tab.NumRows() * 24))
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	build := benchTable(10000)
+	probe := benchTable(100000)
+	sb := plan.NewTableScan(build, []int{1, 2})
+	sp := plan.NewTableScan(probe, []int{1, 2})
+	join := plan.NewHashJoin(sb, sp, []int{0}, []int{0}, []int{1})
+	gb := plan.NewGroupBy(join, nil, []plan.Agg{{Fn: plan.AggCount}}, []string{"c"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(gb, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByAggregation(b *testing.B) {
+	tab := benchTable(100000)
+	scan := plan.NewTableScan(tab, []int{1, 2})
+	gb := plan.NewGroupBy(scan, []int{0},
+		[]plan.Agg{{Fn: plan.AggSum, Col: 1}, {Fn: plan.AggCount}}, []string{"s", "c"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(gb, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	tab := benchTable(100000)
+	scan := plan.NewTableScan(tab, []int{1, 2})
+	srt := plan.NewSort(scan, []int{1}, []bool{false})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(srt, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,530 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// hashing: FNV-1a style mixing over column values. Collisions are handled by
+// verifying key equality, so hash quality only affects speed.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	// Extra avalanche so sequential integers spread across buckets.
+	h ^= h >> 29
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// hashRow hashes the values of the given columns at row i.
+func hashRow(cols []storage.Column, idxs []int, i int) uint64 {
+	h := fnvOffset
+	for _, ci := range idxs {
+		c := &cols[ci]
+		switch c.Kind {
+		case storage.Int64:
+			h = mix(h, uint64(c.Ints[i]))
+		case storage.Float64:
+			h = mix(h, math.Float64bits(c.Flts[i]))
+		case storage.String:
+			h = hashString(h, c.Strs[i])
+		}
+	}
+	return h
+}
+
+// rowsEqual compares row a of cols (at idxs) against row b of keyCols.
+func rowsEqual(cols []storage.Column, idxs []int, a int, keyCols []storage.Column, b int) bool {
+	for k, ci := range idxs {
+		c := &cols[ci]
+		kc := &keyCols[k]
+		switch c.Kind {
+		case storage.Int64:
+			if c.Ints[a] != kc.Ints[b] {
+				return false
+			}
+		case storage.Float64:
+			if c.Flts[a] != kc.Flts[b] {
+				return false
+			}
+		case storage.String:
+			if c.Strs[a] != kc.Strs[b] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// joinState is the materialized build side of a hash join.
+type joinState struct {
+	keyCols []storage.Column // key columns, one row per build tuple
+	payload []storage.Column // payload columns, one row per build tuple
+	ht      map[uint64][]int32
+	rows    int
+}
+
+// appendCol appends value at row i of src to dst.
+func appendVal(dst, src *storage.Column, i int) {
+	switch src.Kind {
+	case storage.Int64:
+		dst.Ints = append(dst.Ints, src.Ints[i])
+	case storage.Float64:
+		dst.Flts = append(dst.Flts, src.Flts[i])
+	case storage.String:
+		dst.Strs = append(dst.Strs, src.Strs[i])
+	}
+}
+
+// makeBuild returns the push function and finalizer for a build stage.
+func (rt *runtime) makeBuild(n *plan.Node) (pushFn, func(), error) {
+	switch n.Op {
+	case plan.HashJoinOp:
+		return rt.makeJoinBuild(n)
+	case plan.GroupByOp:
+		return rt.makeGroupByBuild(n)
+	case plan.SortOp:
+		return rt.makeSortBuild(n)
+	case plan.WindowOp:
+		return rt.makeWindowBuild(n)
+	case plan.MaterializeOp:
+		return rt.makeMaterializeBuild(n)
+	default:
+		return nil, nil, fmt.Errorf("node %v has no build stage", n.Op)
+	}
+}
+
+func (rt *runtime) makeJoinBuild(n *plan.Node) (pushFn, func(), error) {
+	in := n.Left
+	st := &joinState{ht: make(map[uint64][]int32)}
+	st.keyCols = make([]storage.Column, len(n.BuildKeys))
+	for k, ci := range n.BuildKeys {
+		st.keyCols[k] = storage.Column{Kind: in.Schema[ci].Kind}
+	}
+	st.payload = make([]storage.Column, len(n.BuildPayload))
+	for k, ci := range n.BuildPayload {
+		st.payload[k] = storage.Column{Name: in.Schema[ci].Name, Kind: in.Schema[ci].Kind}
+	}
+	rt.states[n] = st
+	push := func(b *expr.Batch) {
+		for i := 0; i < b.N; i++ {
+			h := hashRow(b.Cols, n.BuildKeys, i)
+			st.ht[h] = append(st.ht[h], int32(st.rows))
+			for k, ci := range n.BuildKeys {
+				appendVal(&st.keyCols[k], &b.Cols[ci], i)
+			}
+			for k, ci := range n.BuildPayload {
+				appendVal(&st.payload[k], &b.Cols[ci], i)
+			}
+			st.rows++
+		}
+	}
+	return push, nil, nil
+}
+
+// makeProbe wraps sink with the probe stage of a hash join.
+func (rt *runtime) makeProbe(n *plan.Node, sink pushFn) (pushFn, error) {
+	st, ok := rt.states[n].(*joinState)
+	if !ok {
+		return nil, fmt.Errorf("probe of %v before its build ran", n)
+	}
+	nc := rt.count(n)
+	nProbe := len(n.Right.Schema)
+	makeOut := func() *expr.Batch {
+		out := &expr.Batch{Cols: make([]storage.Column, len(n.Schema))}
+		for i, cm := range n.Schema {
+			out.Cols[i] = storage.Column{Name: cm.Name, Kind: cm.Kind}
+		}
+		return out
+	}
+	return func(b *expr.Batch) {
+		out := makeOut()
+		flush := func() {
+			if out.N > 0 {
+				nc.out += int64(out.N)
+				sink(out)
+				out = makeOut()
+			}
+		}
+		for i := 0; i < b.N && !rt.stop; i++ {
+			h := hashRow(b.Cols, n.ProbeKeys, i)
+			for _, bi := range st.ht[h] {
+				if !rowsEqualProbe(b.Cols, n.ProbeKeys, i, st.keyCols, int(bi)) {
+					continue
+				}
+				for c := 0; c < nProbe; c++ {
+					appendVal(&out.Cols[c], &b.Cols[c], i)
+				}
+				for c := range st.payload {
+					appendVal(&out.Cols[nProbe+c], &st.payload[c], int(bi))
+				}
+				out.N++
+				if out.N >= rt.batchSize {
+					flush()
+				}
+			}
+		}
+		flush()
+	}, nil
+}
+
+// rowsEqualProbe compares probe row a (columns at idxs) with build key row b.
+func rowsEqualProbe(cols []storage.Column, idxs []int, a int, keyCols []storage.Column, b int) bool {
+	return rowsEqual(cols, idxs, a, keyCols, b)
+}
+
+// groupState is the hash-aggregation state of a group-by build.
+type groupState struct {
+	keyCols []storage.Column // one row per group
+	ht      map[uint64][]int32
+	groups  int
+	// accumulators, one slice entry per group per aggregate
+	sums   [][]float64
+	counts [][]int64
+	strMin []map[int32]string // for min/max over strings, keyed by group
+	strMax []map[int32]string
+}
+
+func (rt *runtime) makeGroupByBuild(n *plan.Node) (pushFn, func(), error) {
+	in := n.Left
+	st := &groupState{ht: make(map[uint64][]int32)}
+	st.keyCols = make([]storage.Column, len(n.GroupCols))
+	for k, ci := range n.GroupCols {
+		st.keyCols[k] = storage.Column{Name: in.Schema[ci].Name, Kind: in.Schema[ci].Kind}
+	}
+	st.sums = make([][]float64, len(n.Aggs))
+	st.counts = make([][]int64, len(n.Aggs))
+	st.strMin = make([]map[int32]string, len(n.Aggs))
+	st.strMax = make([]map[int32]string, len(n.Aggs))
+	for a := range n.Aggs {
+		st.strMin[a] = make(map[int32]string)
+		st.strMax[a] = make(map[int32]string)
+	}
+
+	push := func(b *expr.Batch) {
+		for i := 0; i < b.N; i++ {
+			h := hashRow(b.Cols, n.GroupCols, i)
+			gi := int32(-1)
+			for _, cand := range st.ht[h] {
+				if rowsEqual(b.Cols, n.GroupCols, i, st.keyCols, int(cand)) {
+					gi = cand
+					break
+				}
+			}
+			if gi < 0 {
+				gi = int32(st.groups)
+				st.ht[h] = append(st.ht[h], gi)
+				for k, ci := range n.GroupCols {
+					appendVal(&st.keyCols[k], &b.Cols[ci], i)
+				}
+				st.groups++
+				for a, agg := range n.Aggs {
+					st.sums[a] = append(st.sums[a], initialAcc(agg.Fn))
+					st.counts[a] = append(st.counts[a], 0)
+				}
+			}
+			for a, agg := range n.Aggs {
+				updateAcc(st, a, agg, b, gi, i)
+			}
+		}
+	}
+
+	finalize := func() {
+		// A global aggregate over empty input still yields one row.
+		if len(n.GroupCols) == 0 && st.groups == 0 {
+			st.groups = 1
+			for a, agg := range n.Aggs {
+				st.sums[a] = append(st.sums[a], initialAcc(agg.Fn))
+				st.counts[a] = append(st.counts[a], 0)
+			}
+		}
+		out := newMaterialized(n.Schema)
+		ng := len(n.GroupCols)
+		for k := range st.keyCols {
+			out.Cols[k] = st.keyCols[k]
+		}
+		for a, agg := range n.Aggs {
+			col := &out.Cols[ng+a]
+			for g := 0; g < st.groups; g++ {
+				writeAgg(col, st, a, agg, int32(g))
+			}
+		}
+		out.N = st.groups
+		rt.states[n] = out
+		rt.count(n).out = int64(st.groups)
+	}
+	return push, finalize, nil
+}
+
+func initialAcc(fn plan.AggFn) float64 {
+	switch fn {
+	case plan.AggMin:
+		return math.Inf(1)
+	case plan.AggMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+// updateAcc folds row i of batch b into group gi's accumulator for agg a.
+func updateAcc(st *groupState, a int, agg plan.Agg, b *expr.Batch, gi int32, i int) {
+	if agg.Fn == plan.AggCount {
+		st.counts[a][gi]++
+		return
+	}
+	c := &b.Cols[agg.Col]
+	if c.Kind == storage.String {
+		s := c.Strs[i]
+		switch agg.Fn {
+		case plan.AggMin:
+			if cur, ok := st.strMin[a][gi]; !ok || s < cur {
+				st.strMin[a][gi] = s
+			}
+		case plan.AggMax:
+			if cur, ok := st.strMax[a][gi]; !ok || s > cur {
+				st.strMax[a][gi] = s
+			}
+		}
+		st.counts[a][gi]++
+		return
+	}
+	var v float64
+	if c.Kind == storage.Int64 {
+		v = float64(c.Ints[i])
+	} else {
+		v = c.Flts[i]
+	}
+	switch agg.Fn {
+	case plan.AggSum, plan.AggAvg:
+		st.sums[a][gi] += v
+	case plan.AggMin:
+		if v < st.sums[a][gi] {
+			st.sums[a][gi] = v
+		}
+	case plan.AggMax:
+		if v > st.sums[a][gi] {
+			st.sums[a][gi] = v
+		}
+	}
+	st.counts[a][gi]++
+}
+
+// writeAgg appends group g's final aggregate value for agg a to col.
+func writeAgg(col *storage.Column, st *groupState, a int, agg plan.Agg, g int32) {
+	switch col.Kind {
+	case storage.Int64:
+		switch agg.Fn {
+		case plan.AggCount:
+			col.Ints = append(col.Ints, st.counts[a][g])
+		default: // min/max over int columns
+			v := st.sums[a][g]
+			if math.IsInf(v, 0) {
+				v = 0
+			}
+			col.Ints = append(col.Ints, int64(v))
+		}
+	case storage.Float64:
+		v := st.sums[a][g]
+		if agg.Fn == plan.AggAvg {
+			if st.counts[a][g] > 0 {
+				v /= float64(st.counts[a][g])
+			} else {
+				v = 0
+			}
+		}
+		if math.IsInf(v, 0) {
+			v = 0
+		}
+		col.Flts = append(col.Flts, v)
+	case storage.String:
+		switch agg.Fn {
+		case plan.AggMin:
+			col.Strs = append(col.Strs, st.strMin[a][g])
+		case plan.AggMax:
+			col.Strs = append(col.Strs, st.strMax[a][g])
+		default:
+			col.Strs = append(col.Strs, "")
+		}
+	}
+}
+
+func (rt *runtime) makeSortBuild(n *plan.Node) (pushFn, func(), error) {
+	buf := newMaterialized(n.Left.Schema)
+	push := func(b *expr.Batch) { buf.appendBatch(b) }
+	finalize := func() {
+		perm := sortPerm(buf, n.SortCols, n.SortDesc)
+		out := applyPerm(buf, perm, n.Schema)
+		rt.states[n] = out
+		rt.count(n).out = int64(out.N)
+	}
+	return push, finalize, nil
+}
+
+func (rt *runtime) makeMaterializeBuild(n *plan.Node) (pushFn, func(), error) {
+	buf := newMaterialized(n.Left.Schema)
+	push := func(b *expr.Batch) { buf.appendBatch(b) }
+	finalize := func() {
+		rt.states[n] = buf
+		rt.count(n).out = int64(buf.N)
+	}
+	return push, finalize, nil
+}
+
+func (rt *runtime) makeWindowBuild(n *plan.Node) (pushFn, func(), error) {
+	buf := newMaterialized(n.Left.Schema)
+	push := func(b *expr.Batch) { buf.appendBatch(b) }
+	finalize := func() {
+		keys := append(append([]int(nil), n.WinPartition...), n.WinOrder...)
+		desc := make([]bool, len(keys))
+		perm := sortPerm(buf, keys, desc)
+		sorted := applyPerm(buf, perm, n.Left.Schema)
+
+		fnCol := storage.Column{Name: n.Schema[len(n.Schema)-1].Name, Kind: n.Schema[len(n.Schema)-1].Kind}
+		var rowNum int64
+		var rank int64
+		var runSum float64
+		for i := 0; i < sorted.N; i++ {
+			newPart := i == 0 || !sameRow(sorted, i, i-1, n.WinPartition)
+			if newPart {
+				rowNum, rank, runSum = 0, 0, 0
+			}
+			rowNum++
+			if newPart || !sameRow(sorted, i, i-1, n.WinOrder) {
+				rank = rowNum
+			}
+			switch n.WinFunc {
+			case plan.WinRowNumber:
+				fnCol.Ints = append(fnCol.Ints, rowNum)
+			case plan.WinRank:
+				fnCol.Ints = append(fnCol.Ints, rank)
+			case plan.WinSum:
+				c := &sorted.Cols[n.WinArg]
+				if c.Kind == storage.Int64 {
+					runSum += float64(c.Ints[i])
+				} else {
+					runSum += c.Flts[i]
+				}
+				fnCol.Flts = append(fnCol.Flts, runSum)
+			}
+		}
+		sorted.Cols = append(sorted.Cols, fnCol)
+		rt.states[n] = sorted
+		rt.count(n).out = int64(sorted.N)
+	}
+	return push, finalize, nil
+}
+
+// sameRow reports whether rows a and b agree on the given key columns.
+func sameRow(m *Materialized, a, b int, keys []int) bool {
+	for _, ci := range keys {
+		c := &m.Cols[ci]
+		switch c.Kind {
+		case storage.Int64:
+			if c.Ints[a] != c.Ints[b] {
+				return false
+			}
+		case storage.Float64:
+			if c.Flts[a] != c.Flts[b] {
+				return false
+			}
+		case storage.String:
+			if c.Strs[a] != c.Strs[b] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortPerm computes a permutation ordering buf by the key columns.
+func sortPerm(buf *Materialized, keys []int, desc []bool) []int32 {
+	perm := make([]int32, buf.N)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		a, b := int(perm[x]), int(perm[y])
+		for k, ci := range keys {
+			c := &buf.Cols[ci]
+			var cmp int
+			switch c.Kind {
+			case storage.Int64:
+				switch {
+				case c.Ints[a] < c.Ints[b]:
+					cmp = -1
+				case c.Ints[a] > c.Ints[b]:
+					cmp = 1
+				}
+			case storage.Float64:
+				switch {
+				case c.Flts[a] < c.Flts[b]:
+					cmp = -1
+				case c.Flts[a] > c.Flts[b]:
+					cmp = 1
+				}
+			case storage.String:
+				switch {
+				case c.Strs[a] < c.Strs[b]:
+					cmp = -1
+				case c.Strs[a] > c.Strs[b]:
+					cmp = 1
+				}
+			}
+			if cmp != 0 {
+				if k < len(desc) && desc[k] {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return perm
+}
+
+// applyPerm materializes buf reordered by perm with the given schema.
+func applyPerm(buf *Materialized, perm []int32, schema []plan.ColMeta) *Materialized {
+	out := newMaterialized(schema)
+	for c := range buf.Cols {
+		src := &buf.Cols[c]
+		dst := &out.Cols[c]
+		switch src.Kind {
+		case storage.Int64:
+			dst.Ints = make([]int64, len(perm))
+			for i, p := range perm {
+				dst.Ints[i] = src.Ints[p]
+			}
+		case storage.Float64:
+			dst.Flts = make([]float64, len(perm))
+			for i, p := range perm {
+				dst.Flts[i] = src.Flts[p]
+			}
+		case storage.String:
+			dst.Strs = make([]string, len(perm))
+			for i, p := range perm {
+				dst.Strs[i] = src.Strs[p]
+			}
+		}
+	}
+	out.N = len(perm)
+	return out
+}

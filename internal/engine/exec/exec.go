@@ -1,0 +1,467 @@
+// Package exec executes physical plans pipeline by pipeline.
+//
+// The executor mirrors the push-based, pipelined execution model of
+// compiling engines like Umbra: each pipeline scans its source, pushes
+// batches of tuples through pass-through and probe stages, and terminates in
+// a build stage or the query result. Crucially for T3, the executor measures
+// the wall-clock time of *each pipeline individually*; these per-pipeline
+// times are the training targets of the model (§2.4).
+//
+// With annotation enabled, the executor also records true cardinalities for
+// every operator and per-predicate selectivities for table scans — the
+// engine's "explain analyze" (§4.3).
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// DefaultBatchSize is the number of tuples pushed per batch.
+const DefaultBatchSize = 1024
+
+// Executor runs plans. The zero value is usable.
+type Executor struct {
+	// BatchSize overrides DefaultBatchSize when > 0.
+	BatchSize int
+}
+
+// PipelineTiming records the measured execution of one pipeline.
+type PipelineTiming struct {
+	// Index is the pipeline's position in execution order.
+	Index int
+	// SourceRows is the number of tuples scanned at the pipeline source.
+	SourceRows int
+	// Duration is the wall-clock execution time of the pipeline.
+	Duration time.Duration
+}
+
+// Materialized holds a fully materialized tuple stream.
+type Materialized struct {
+	Cols []storage.Column
+	N    int
+}
+
+// appendBatch copies all rows of b into m.
+func (m *Materialized) appendBatch(b *expr.Batch) {
+	for c := range m.Cols {
+		dst := &m.Cols[c]
+		src := &b.Cols[c]
+		switch dst.Kind {
+		case storage.Int64:
+			dst.Ints = append(dst.Ints, src.Ints[:b.N]...)
+		case storage.Float64:
+			dst.Flts = append(dst.Flts, src.Flts[:b.N]...)
+		case storage.String:
+			dst.Strs = append(dst.Strs, src.Strs[:b.N]...)
+		}
+	}
+	m.N += b.N
+}
+
+func newMaterialized(schema []plan.ColMeta) *Materialized {
+	m := &Materialized{Cols: make([]storage.Column, len(schema))}
+	for i, cm := range schema {
+		m.Cols[i] = storage.Column{Name: cm.Name, Kind: cm.Kind}
+	}
+	return m
+}
+
+// RunResult is the outcome of executing a plan.
+type RunResult struct {
+	// Pipelines holds per-pipeline timings in execution order.
+	Pipelines []PipelineTiming
+	// Total is the summed pipeline execution time.
+	Total time.Duration
+	// Rows is the number of result rows.
+	Rows int
+	// Output is the materialized query result.
+	Output *Materialized
+}
+
+// Run executes the plan. If annotate is true, true cardinalities and
+// per-predicate selectivities are written back into the plan nodes.
+func (e *Executor) Run(root *plan.Node, annotate bool) (*RunResult, error) {
+	pipelines := plan.Decompose(root)
+	batchSize := e.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	rt := &runtime{
+		batchSize: batchSize,
+		states:    make(map[*plan.Node]any),
+		counts:    make(map[*plan.Node]*nodeCount),
+	}
+	res := &RunResult{}
+	for _, p := range pipelines {
+		start := time.Now()
+		srcRows, err := rt.runPipeline(p, root)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %d: %w", p.Index, err)
+		}
+		d := time.Since(start)
+		res.Pipelines = append(res.Pipelines, PipelineTiming{Index: p.Index, SourceRows: srcRows, Duration: d})
+		res.Total += d
+	}
+	res.Output = rt.result
+	if rt.result != nil {
+		res.Rows = rt.result.N
+	}
+	if annotate {
+		rt.writeAnnotations(root)
+	}
+	return res, nil
+}
+
+// Run executes the plan with a default executor.
+func Run(root *plan.Node, annotate bool) (*RunResult, error) {
+	var e Executor
+	return e.Run(root, annotate)
+}
+
+// AnnotateTrueCards executes the plan once and fills in true cardinalities,
+// discarding the result. Estimated cardinalities are left untouched.
+func AnnotateTrueCards(root *plan.Node) error {
+	_, err := Run(root, true)
+	return err
+}
+
+// nodeCount accumulates per-node counters during execution.
+type nodeCount struct {
+	out      int64
+	predEval []int64 // per pushed-down predicate: tuples it was evaluated on
+	predPass []int64 // per pushed-down predicate: tuples that passed
+}
+
+// runtime carries execution state across the pipelines of one plan run.
+type runtime struct {
+	batchSize int
+	states    map[*plan.Node]any
+	counts    map[*plan.Node]*nodeCount
+	result    *Materialized
+	stop      bool // set by LIMIT once satisfied
+}
+
+func (rt *runtime) count(n *plan.Node) *nodeCount {
+	c := rt.counts[n]
+	if c == nil {
+		c = &nodeCount{}
+		if n.Op == plan.TableScanOp {
+			c.predEval = make([]int64, len(n.Predicates))
+			c.predPass = make([]int64, len(n.Predicates))
+		}
+		rt.counts[n] = c
+	}
+	return c
+}
+
+// writeAnnotations copies measured counters into the plan's Card.True
+// fields.
+func (rt *runtime) writeAnnotations(root *plan.Node) {
+	root.Walk(func(n *plan.Node) {
+		c := rt.counts[n]
+		if c == nil {
+			return
+		}
+		n.OutCard.True = float64(c.out)
+		if n.Op == plan.TableScanOp {
+			for i := range n.Predicates {
+				if c.predEval[i] > 0 {
+					n.PredSel[i].True = float64(c.predPass[i]) / float64(c.predEval[i])
+				} else {
+					n.PredSel[i].True = 0
+				}
+			}
+		}
+	})
+}
+
+// pushFn consumes one batch.
+type pushFn func(b *expr.Batch)
+
+// runPipeline executes one pipeline and returns the number of source rows
+// scanned.
+func (rt *runtime) runPipeline(p *plan.Pipeline, root *plan.Node) (int, error) {
+	rt.stop = false
+
+	// Build the push chain from the last stage backwards to the sink.
+	var sink pushFn
+	last := p.Stages[len(p.Stages)-1]
+	var finalize func()
+
+	if last.Stage == plan.StageBuild {
+		var err error
+		sink, finalize, err = rt.makeBuild(last.Node)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		// Final pipeline: materialize the query result.
+		out := newMaterialized(root.Schema)
+		rt.result = out
+		sink = func(b *expr.Batch) { out.appendBatch(b) }
+	}
+
+	// Wrap intermediate stages (excluding source at 0 and a trailing build).
+	end := len(p.Stages)
+	if last.Stage == plan.StageBuild {
+		end--
+	}
+	for i := end - 1; i >= 1; i-- {
+		s := p.Stages[i]
+		var err error
+		sink, err = rt.makeStage(s, sink)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	srcRows, err := rt.driveSource(p.Stages[0].Node, sink)
+	if err != nil {
+		return 0, err
+	}
+	if finalize != nil {
+		finalize()
+	}
+	return srcRows, nil
+}
+
+// driveSource scans the pipeline source and pushes batches into the chain.
+func (rt *runtime) driveSource(n *plan.Node, sink pushFn) (int, error) {
+	switch n.Op {
+	case plan.TableScanOp:
+		return rt.scanTable(n, sink)
+	case plan.GroupByOp, plan.SortOp, plan.WindowOp, plan.MaterializeOp:
+		st, ok := rt.states[n].(*Materialized)
+		if !ok {
+			return 0, fmt.Errorf("scan of %v before its build ran", n.Op)
+		}
+		rt.scanMaterialized(n, st, sink)
+		return st.N, nil
+	default:
+		return 0, fmt.Errorf("node %v cannot be a pipeline source", n.Op)
+	}
+}
+
+// scanTable reads the base table in batches, applies pushed-down predicates
+// with short-circuit AND semantics, compacts, and pushes.
+func (rt *runtime) scanTable(n *plan.Node, sink pushFn) (int, error) {
+	t := n.Table
+	if t == nil {
+		return 0, fmt.Errorf("table scan %q has no bound table", n.TableName)
+	}
+	total := t.NumRows()
+	nc := rt.count(n)
+	sel := make([]bool, rt.batchSize)
+	for off := 0; off < total && !rt.stop; off += rt.batchSize {
+		hi := off + rt.batchSize
+		if hi > total {
+			hi = total
+		}
+		m := hi - off
+		// Copy into a fresh batch: downstream stages (filter compaction,
+		// limit truncation) mutate batch columns in place and must never
+		// write through to the base table.
+		b := &expr.Batch{Cols: make([]storage.Column, len(n.ScanCols)), N: m}
+		for i, ci := range n.ScanCols {
+			src := &t.Columns[ci]
+			dst := &b.Cols[i]
+			dst.Name = src.Name
+			dst.Kind = src.Kind
+			switch src.Kind {
+			case storage.Int64:
+				dst.Ints = append([]int64(nil), src.Ints[off:hi]...)
+			case storage.Float64:
+				dst.Flts = append([]float64(nil), src.Flts[off:hi]...)
+			case storage.String:
+				dst.Strs = append([]string(nil), src.Strs[off:hi]...)
+			}
+			if src.Nulls != nil {
+				dst.Nulls = append([]bool(nil), src.Nulls[off:hi]...)
+			}
+		}
+		if len(n.Predicates) > 0 {
+			for i := 0; i < m; i++ {
+				sel[i] = true
+			}
+			for pi, pred := range n.Predicates {
+				evaluated := pred.EvalBool(b, sel[:m])
+				passed := 0
+				for i := 0; i < m; i++ {
+					if sel[i] {
+						passed++
+					}
+				}
+				nc.predEval[pi] += int64(evaluated)
+				nc.predPass[pi] += int64(passed)
+			}
+			compact(b, sel[:m])
+		}
+		if b.N > 0 {
+			nc.out += int64(b.N)
+			sink(b)
+		}
+	}
+	return total, nil
+}
+
+// scanMaterialized pushes a breaker's materialized state in batches. The
+// breaker's out count was already recorded when its state materialized.
+func (rt *runtime) scanMaterialized(n *plan.Node, m *Materialized, sink pushFn) {
+	for off := 0; off < m.N && !rt.stop; off += rt.batchSize {
+		hi := off + rt.batchSize
+		if hi > m.N {
+			hi = m.N
+		}
+		b := &expr.Batch{Cols: make([]storage.Column, len(m.Cols)), N: hi - off}
+		for i := range m.Cols {
+			src := &m.Cols[i]
+			dst := &b.Cols[i]
+			dst.Name = src.Name
+			dst.Kind = src.Kind
+			// Copy for the same reason as scanTable: downstream stages
+			// mutate batches in place.
+			switch src.Kind {
+			case storage.Int64:
+				dst.Ints = append([]int64(nil), src.Ints[off:hi]...)
+			case storage.Float64:
+				dst.Flts = append([]float64(nil), src.Flts[off:hi]...)
+			case storage.String:
+				dst.Strs = append([]string(nil), src.Strs[off:hi]...)
+			}
+		}
+		sink(b)
+	}
+}
+
+// compact removes unselected rows from b in place.
+func compact(b *expr.Batch, sel []bool) {
+	w := 0
+	for i := 0; i < b.N; i++ {
+		if !sel[i] {
+			continue
+		}
+		if w != i {
+			for c := range b.Cols {
+				col := &b.Cols[c]
+				switch col.Kind {
+				case storage.Int64:
+					col.Ints[w] = col.Ints[i]
+				case storage.Float64:
+					col.Flts[w] = col.Flts[i]
+				case storage.String:
+					col.Strs[w] = col.Strs[i]
+				}
+				if col.Nulls != nil {
+					col.Nulls[w] = col.Nulls[i]
+				}
+			}
+		}
+		w++
+	}
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		switch col.Kind {
+		case storage.Int64:
+			col.Ints = col.Ints[:w]
+		case storage.Float64:
+			col.Flts = col.Flts[:w]
+		case storage.String:
+			col.Strs = col.Strs[:w]
+		}
+		if col.Nulls != nil {
+			col.Nulls = col.Nulls[:w]
+		}
+	}
+	b.N = w
+}
+
+// makeStage wraps sink with the given pass-through or probe stage.
+func (rt *runtime) makeStage(s plan.StageRef, sink pushFn) (pushFn, error) {
+	n := s.Node
+	switch {
+	case n.Op == plan.FilterOp:
+		nc := rt.count(n)
+		var sel []bool
+		return func(b *expr.Batch) {
+			if cap(sel) < b.N {
+				sel = make([]bool, b.N)
+			}
+			sel = sel[:b.N]
+			for i := range sel {
+				sel[i] = true
+			}
+			n.FilterPred.EvalBool(b, sel)
+			compact(b, sel)
+			if b.N > 0 {
+				nc.out += int64(b.N)
+				sink(b)
+			}
+		}, nil
+
+	case n.Op == plan.MapOp:
+		nc := rt.count(n)
+		return func(b *expr.Batch) {
+			outCols := make([]storage.Column, 0, len(n.Schema))
+			if !n.MapReplaces() {
+				outCols = append(outCols, b.Cols...)
+			}
+			for i, e := range n.MapExprs {
+				col := e.Eval(b)
+				col.Name = n.MapNames[i]
+				outCols = append(outCols, col)
+			}
+			b.Cols = outCols
+			nc.out += int64(b.N)
+			sink(b)
+		}, nil
+
+	case n.Op == plan.LimitOp:
+		nc := rt.count(n)
+		remaining := n.LimitN
+		return func(b *expr.Batch) {
+			if remaining <= 0 {
+				rt.stop = true
+				return
+			}
+			if b.N > remaining {
+				truncate(b, remaining)
+			}
+			remaining -= b.N
+			if remaining <= 0 {
+				rt.stop = true
+			}
+			nc.out += int64(b.N)
+			sink(b)
+		}, nil
+
+	case n.Op == plan.HashJoinOp && s.Stage == plan.StageProbe:
+		return rt.makeProbe(n, sink)
+
+	default:
+		return nil, fmt.Errorf("unsupported stage %v of %v", s.Stage, n.Op)
+	}
+}
+
+// truncate shortens b to n rows.
+func truncate(b *expr.Batch, n int) {
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		switch col.Kind {
+		case storage.Int64:
+			col.Ints = col.Ints[:n]
+		case storage.Float64:
+			col.Flts = col.Flts[:n]
+		case storage.String:
+			col.Strs = col.Strs[:n]
+		}
+		if col.Nulls != nil {
+			col.Nulls = col.Nulls[:n]
+		}
+	}
+	b.N = n
+}

@@ -1,0 +1,361 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// mkTable builds a table with deterministic pseudo-random contents.
+func mkTable(name string, n int, seed int64) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int64, n)
+	keys := make([]int64, n)
+	vals := make([]float64, n)
+	strs := make([]string, n)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		keys[i] = rng.Int63n(int64(n/4 + 1))
+		vals[i] = rng.Float64() * 100
+		strs[i] = words[rng.Intn(len(words))]
+	}
+	return storage.MustNewTable(name,
+		storage.Column{Name: "id", Kind: storage.Int64, Ints: ids},
+		storage.Column{Name: "key", Kind: storage.Int64, Ints: keys},
+		storage.Column{Name: "val", Kind: storage.Float64, Flts: vals},
+		storage.Column{Name: "word", Kind: storage.String, Strs: strs},
+	)
+}
+
+func TestScanFilterCounts(t *testing.T) {
+	tab := mkTable("t", 10000, 1)
+	scan := plan.NewTableScan(tab, []int{0, 1, 2},
+		expr.NewCmp(expr.Lt, expr.Col(0, "id", storage.Int64), expr.ConstInt(5000)),
+		expr.NewCmp(expr.Ge, expr.Col(0, "id", storage.Int64), expr.ConstInt(1000)),
+	)
+	mat := plan.NewMaterialize(scan)
+	res, err := Run(mat, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 4000 {
+		t.Fatalf("rows = %d, want 4000", res.Rows)
+	}
+	if scan.OutCard.True != 4000 {
+		t.Errorf("scan out card = %v, want 4000", scan.OutCard.True)
+	}
+	// First predicate evaluated on all 10000, selectivity 0.5.
+	if got := scan.PredSel[0].True; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("pred0 sel = %v, want 0.5", got)
+	}
+	// Second evaluated only on the 5000 passing tuples, 4000 pass.
+	if got := scan.PredSel[1].True; math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("pred1 sel = %v, want 0.8", got)
+	}
+	if len(res.Pipelines) != 2 {
+		t.Errorf("pipelines = %d, want 2 (scan->mat build, mat scan->result)", len(res.Pipelines))
+	}
+}
+
+func TestHashJoinAgainstNestedLoop(t *testing.T) {
+	build := mkTable("b", 500, 2)
+	probe := mkTable("p", 2000, 3)
+	sb := plan.NewTableScan(build, []int{1, 2})                    // key, val
+	sp := plan.NewTableScan(probe, []int{1, 2})                    // key, val
+	join := plan.NewHashJoin(sb, sp, []int{0}, []int{0}, []int{1}) // payload: build val
+	mat := plan.NewMaterialize(join)
+
+	res, err := Run(mat, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: nested loop join.
+	type pair struct{ pv, bv float64 }
+	var want []pair
+	bk, bv := build.Column("key").Ints, build.Column("val").Flts
+	pk, pv := probe.Column("key").Ints, probe.Column("val").Flts
+	for i := range pk {
+		for j := range bk {
+			if pk[i] == bk[j] {
+				want = append(want, pair{pv[i], bv[j]})
+			}
+		}
+	}
+	if res.Rows != len(want) {
+		t.Fatalf("join rows = %d, want %d", res.Rows, len(want))
+	}
+	if join.OutCard.True != float64(len(want)) {
+		t.Errorf("join out card = %v, want %d", join.OutCard.True, len(want))
+	}
+
+	// Output schema is probe cols (key, val) then build payload (val).
+	got := make([]pair, res.Rows)
+	for i := 0; i < res.Rows; i++ {
+		got[i] = pair{res.Output.Cols[1].Flts[i], res.Output.Cols[2].Flts[i]}
+	}
+	less := func(a, b pair) bool {
+		if a.pv != b.pv {
+			return a.pv < b.pv
+		}
+		return a.bv < b.bv
+	}
+	sort.Slice(got, func(i, j int) bool { return less(got[i], got[j]) })
+	sort.Slice(want, func(i, j int) bool { return less(want[i], want[j]) })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGroupByAgainstReference(t *testing.T) {
+	tab := mkTable("t", 5000, 4)
+	scan := plan.NewTableScan(tab, []int{1, 2}) // key, val
+	gb := plan.NewGroupBy(scan, []int{0},
+		[]plan.Agg{{Fn: plan.AggSum, Col: 1}, {Fn: plan.AggCount}, {Fn: plan.AggMin, Col: 1}, {Fn: plan.AggMax, Col: 1}, {Fn: plan.AggAvg, Col: 1}},
+		[]string{"s", "c", "mn", "mx", "av"})
+	res, err := Run(gb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys, vals := tab.Column("key").Ints, tab.Column("val").Flts
+	type acc struct {
+		sum, mn, mx float64
+		n           int64
+	}
+	ref := map[int64]*acc{}
+	for i := range keys {
+		a := ref[keys[i]]
+		if a == nil {
+			a = &acc{mn: math.Inf(1), mx: math.Inf(-1)}
+			ref[keys[i]] = a
+		}
+		a.sum += vals[i]
+		a.n++
+		a.mn = math.Min(a.mn, vals[i])
+		a.mx = math.Max(a.mx, vals[i])
+	}
+	if res.Rows != len(ref) {
+		t.Fatalf("groups = %d, want %d", res.Rows, len(ref))
+	}
+	out := res.Output
+	for i := 0; i < res.Rows; i++ {
+		k := out.Cols[0].Ints[i]
+		a := ref[k]
+		if a == nil {
+			t.Fatalf("unexpected group %d", k)
+		}
+		if math.Abs(out.Cols[1].Flts[i]-a.sum) > 1e-6 {
+			t.Errorf("group %d sum = %v, want %v", k, out.Cols[1].Flts[i], a.sum)
+		}
+		if out.Cols[2].Ints[i] != a.n {
+			t.Errorf("group %d count = %v, want %v", k, out.Cols[2].Ints[i], a.n)
+		}
+		if math.Abs(out.Cols[3].Flts[i]-a.mn) > 1e-9 || math.Abs(out.Cols[4].Flts[i]-a.mx) > 1e-9 {
+			t.Errorf("group %d min/max mismatch", k)
+		}
+		if math.Abs(out.Cols[5].Flts[i]-a.sum/float64(a.n)) > 1e-9 {
+			t.Errorf("group %d avg mismatch", k)
+		}
+	}
+}
+
+func TestGlobalAggregateOnEmptyInput(t *testing.T) {
+	tab := mkTable("t", 100, 5)
+	scan := plan.NewTableScan(tab, []int{0, 2},
+		expr.NewCmp(expr.Lt, expr.Col(0, "id", storage.Int64), expr.ConstInt(-1)))
+	gb := plan.NewGroupBy(scan, nil, []plan.Agg{{Fn: plan.AggCount}, {Fn: plan.AggSum, Col: 1}}, []string{"c", "s"})
+	res, err := Run(gb, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1 {
+		t.Fatalf("rows = %d, want 1 (global aggregate over empty input)", res.Rows)
+	}
+	if res.Output.Cols[0].Ints[0] != 0 {
+		t.Errorf("count = %d, want 0", res.Output.Cols[0].Ints[0])
+	}
+	if res.Output.Cols[1].Flts[0] != 0 {
+		t.Errorf("sum = %v, want 0", res.Output.Cols[1].Flts[0])
+	}
+}
+
+func TestSortOrders(t *testing.T) {
+	tab := mkTable("t", 3000, 6)
+	scan := plan.NewTableScan(tab, []int{1, 2}) // key, val
+	srt := plan.NewSort(scan, []int{0, 1}, []bool{false, true})
+	res, err := Run(srt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3000 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	k, v := res.Output.Cols[0].Ints, res.Output.Cols[1].Flts
+	for i := 1; i < res.Rows; i++ {
+		if k[i-1] > k[i] {
+			t.Fatalf("key order violated at %d", i)
+		}
+		if k[i-1] == k[i] && v[i-1] < v[i] {
+			t.Fatalf("val desc order violated at %d", i)
+		}
+	}
+}
+
+func TestLimitStopsEarly(t *testing.T) {
+	tab := mkTable("t", 100000, 7)
+	scan := plan.NewTableScan(tab, []int{0})
+	lim := plan.NewLimit(scan, 10)
+	mat := plan.NewMaterialize(lim)
+	res, err := Run(mat, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 10 {
+		t.Fatalf("rows = %d, want 10", res.Rows)
+	}
+	if lim.OutCard.True != 10 {
+		t.Errorf("limit out card = %v", lim.OutCard.True)
+	}
+}
+
+func TestMapComputesExpressions(t *testing.T) {
+	tab := mkTable("t", 100, 8)
+	scan := plan.NewTableScan(tab, []int{2}) // val
+	m := plan.NewMap(scan, []string{"twice"},
+		[]expr.ValueExpr{expr.NewArith(expr.Mul, expr.Col(0, "val", storage.Float64), expr.ConstFloat(2))})
+	res, err := Run(plan.NewMaterialize(m), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < res.Rows; i++ {
+		if math.Abs(res.Output.Cols[1].Flts[i]-2*res.Output.Cols[0].Flts[i]) > 1e-9 {
+			t.Fatalf("row %d: map expression wrong", i)
+		}
+	}
+}
+
+func TestWindowRowNumberAndRank(t *testing.T) {
+	tab := storage.MustNewTable("t",
+		storage.Column{Name: "part", Kind: storage.Int64, Ints: []int64{1, 1, 1, 2, 2}},
+		storage.Column{Name: "ord", Kind: storage.Int64, Ints: []int64{10, 10, 20, 5, 6}},
+	)
+	scan := plan.NewTableScan(tab, []int{0, 1})
+	win := plan.NewWindow(scan, plan.WinRank, []int{0}, []int{1}, 0, "r")
+	res, err := Run(win, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After partition/order sort: part=1 ord=10,10,20 ranks 1,1,3; part=2: 1,2.
+	wantRanks := []int64{1, 1, 3, 1, 2}
+	for i, w := range wantRanks {
+		if got := res.Output.Cols[2].Ints[i]; got != w {
+			t.Errorf("rank[%d] = %d, want %d", i, got, w)
+		}
+	}
+
+	win2 := plan.NewWindow(plan.NewTableScan(tab, []int{0, 1}), plan.WinRowNumber, []int{0}, []int{1}, 0, "rn")
+	res2, err := Run(win2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRN := []int64{1, 2, 3, 1, 2}
+	for i, w := range wantRN {
+		if got := res2.Output.Cols[2].Ints[i]; got != w {
+			t.Errorf("row_number[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPipelineTimingsCoverAllPipelines(t *testing.T) {
+	b := mkTable("b", 1000, 9)
+	p := mkTable("p", 5000, 10)
+	sb := plan.NewTableScan(b, []int{1})
+	sp := plan.NewTableScan(p, []int{1, 2})
+	join := plan.NewHashJoin(sb, sp, []int{0}, []int{0}, nil)
+	gb := plan.NewGroupBy(join, []int{0}, []plan.Agg{{Fn: plan.AggCount}}, []string{"c"})
+	srt := plan.NewSort(gb, []int{1}, []bool{true})
+
+	res, err := Run(srt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(plan.Decompose(srt))
+	if len(res.Pipelines) != want {
+		t.Fatalf("timings for %d pipelines, want %d", len(res.Pipelines), want)
+	}
+	var total = res.Total
+	var sum = res.Pipelines[0].Duration
+	for _, pt := range res.Pipelines[1:] {
+		sum += pt.Duration
+	}
+	if sum != total {
+		t.Errorf("total %v != sum of pipeline times %v", total, sum)
+	}
+	// Source rows of P0 is the build table size.
+	if res.Pipelines[0].SourceRows != 1000 {
+		t.Errorf("P0 source rows = %d", res.Pipelines[0].SourceRows)
+	}
+}
+
+func TestRepeatedRunsAreDeterministic(t *testing.T) {
+	tab := mkTable("t", 2000, 11)
+	scan := plan.NewTableScan(tab, []int{1, 2},
+		expr.NewBetween(expr.Col(0, "key", storage.Int64), expr.ConstInt(10), expr.ConstInt(200)))
+	gb := plan.NewGroupBy(scan, []int{0}, []plan.Agg{{Fn: plan.AggSum, Col: 1}}, []string{"s"})
+	r1, err := Run(gb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(gb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rows != r2.Rows {
+		t.Fatalf("row counts differ: %d vs %d", r1.Rows, r2.Rows)
+	}
+}
+
+func TestInListAndLikePredicates(t *testing.T) {
+	tab := mkTable("t", 1000, 12)
+	scan := plan.NewTableScan(tab, []int{3},
+		expr.NewInListStrings(expr.Col(0, "word", storage.String), []string{"alpha", "beta"}))
+	res, err := Run(plan.NewMaterialize(scan), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := tab.Column("word").Strs
+	want := 0
+	for _, w := range words {
+		if w == "alpha" || w == "beta" {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("in-list rows = %d, want %d", res.Rows, want)
+	}
+
+	scan2 := plan.NewTableScan(tab, []int{3},
+		expr.NewLike(expr.Col(0, "word", storage.String), "%eta"))
+	res2, err := Run(plan.NewMaterialize(scan2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := 0
+	for _, w := range words {
+		if w == "beta" {
+			want2++
+		}
+	}
+	if res2.Rows != want2 {
+		t.Fatalf("like rows = %d, want %d", res2.Rows, want2)
+	}
+}

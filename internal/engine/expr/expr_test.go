@@ -1,0 +1,350 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"t3/internal/engine/storage"
+)
+
+// batch3 builds a 5-row batch with int, float, and string columns.
+func batch3() *Batch {
+	return &Batch{
+		N: 5,
+		Cols: []storage.Column{
+			{Name: "i", Kind: storage.Int64, Ints: []int64{1, 2, 3, 4, 5}},
+			{Name: "f", Kind: storage.Float64, Flts: []float64{0.5, 1.5, 2.5, 3.5, 4.5}},
+			{Name: "s", Kind: storage.String, Strs: []string{"apple", "banana", "cherry", "date", "apple"}},
+		},
+	}
+}
+
+// allTrue returns a fresh selection mask.
+func allTrue(n int) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = true
+	}
+	return s
+}
+
+// selCount counts selected rows.
+func selCount(s []bool) int {
+	n := 0
+	for _, v := range s {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCmpAllOps(t *testing.T) {
+	b := batch3()
+	cases := []struct {
+		op   CmpOp
+		want int
+	}{
+		{Lt, 2}, {Le, 3}, {Eq, 1}, {Ge, 3}, {Gt, 2}, {Ne, 4},
+	}
+	for _, c := range cases {
+		sel := allTrue(b.N)
+		p := NewCmp(c.op, Col(0, "i", storage.Int64), ConstInt(3))
+		evaluated := p.EvalBool(b, sel)
+		if evaluated != 5 {
+			t.Errorf("%v: evaluated %d, want 5", c.op, evaluated)
+		}
+		if got := selCount(sel); got != c.want {
+			t.Errorf("i %v 3: selected %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestCmpFloatAndString(t *testing.T) {
+	b := batch3()
+	sel := allTrue(b.N)
+	NewCmp(Gt, Col(1, "f", storage.Float64), ConstFloat(2)).EvalBool(b, sel)
+	if got := selCount(sel); got != 3 {
+		t.Errorf("f > 2: %d, want 3", got)
+	}
+	sel = allTrue(b.N)
+	NewCmp(Eq, Col(2, "s", storage.String), ConstString("apple")).EvalBool(b, sel)
+	if got := selCount(sel); got != 2 {
+		t.Errorf("s = apple: %d, want 2", got)
+	}
+	// Mixed types: int column compared with float constant.
+	sel = allTrue(b.N)
+	NewCmp(Le, Col(0, "i", storage.Int64), ConstFloat(2.9)).EvalBool(b, sel)
+	if got := selCount(sel); got != 2 {
+		t.Errorf("i <= 2.9: %d, want 2 (constant truncates to 2)", got)
+	}
+}
+
+func TestShortCircuitEvaluationCounts(t *testing.T) {
+	b := batch3()
+	sel := allTrue(b.N)
+	// First predicate keeps 3 rows; second must only evaluate those 3.
+	NewCmp(Ge, Col(0, "i", storage.Int64), ConstInt(3)).EvalBool(b, sel)
+	evaluated := NewCmp(Lt, Col(0, "i", storage.Int64), ConstInt(5)).EvalBool(b, sel)
+	if evaluated != 3 {
+		t.Errorf("second predicate evaluated on %d rows, want 3", evaluated)
+	}
+	if got := selCount(sel); got != 2 {
+		t.Errorf("conjunction selected %d, want 2", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	b := batch3()
+	sel := allTrue(b.N)
+	NewBetween(Col(0, "i", storage.Int64), ConstInt(2), ConstInt(4)).EvalBool(b, sel)
+	if got := selCount(sel); got != 3 {
+		t.Errorf("between 2 and 4: %d, want 3", got)
+	}
+	sel = allTrue(b.N)
+	NewBetween(Col(2, "s", storage.String), ConstString("b"), ConstString("d")).EvalBool(b, sel)
+	if got := selCount(sel); got != 2 {
+		t.Errorf("string between: %d, want 2 (banana, cherry)", got)
+	}
+}
+
+func TestInList(t *testing.T) {
+	b := batch3()
+	sel := allTrue(b.N)
+	NewInListInts(Col(0, "i", storage.Int64), []int64{1, 4, 9}).EvalBool(b, sel)
+	if got := selCount(sel); got != 2 {
+		t.Errorf("in (1,4,9): %d, want 2", got)
+	}
+	sel = allTrue(b.N)
+	NewInListStrings(Col(2, "s", storage.String), []string{"apple", "date"}).EvalBool(b, sel)
+	if got := selCount(sel); got != 3 {
+		t.Errorf("in (apple,date): %d, want 3", got)
+	}
+	// IN over a float column is unsupported and selects nothing.
+	sel = allTrue(b.N)
+	NewInListInts(Col(1, "f", storage.Float64), []int64{1}).EvalBool(b, sel)
+	if got := selCount(sel); got != 0 {
+		t.Errorf("in over float: %d, want 0", got)
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"apple", "apple", true},
+		{"apple", "app%", true},
+		{"apple", "%ple", true},
+		{"apple", "%pp%", true},
+		{"apple", "a_ple", true},
+		{"apple", "a_le", false},
+		{"apple", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"apple", "%", true},
+		{"apple", "%%", true},
+		{"apple", "b%", false},
+		{"banana", "%an%", true},
+		{"banana", "b_n_n_", true},
+		{"banana", "%ana", true},
+		{"aaa", "a%a", true},
+		{"ab", "a%b%c", false},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.s, c.p); got != c.want {
+			t.Errorf("MatchLike(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestMatchLikePropertyPrefixSuffix(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) == 0 {
+			return true
+		}
+		half := len(s) / 2
+		return MatchLike(s, s[:half]+"%") && MatchLike(s, "%"+s[half:]) && MatchLike(s, "%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLikeOnNonStringSelectsNothing(t *testing.T) {
+	b := batch3()
+	sel := allTrue(b.N)
+	NewLike(Col(0, "i", storage.Int64), "%1%").EvalBool(b, sel)
+	if got := selCount(sel); got != 0 {
+		t.Errorf("like over int: %d, want 0", got)
+	}
+}
+
+func TestColCmp(t *testing.T) {
+	b := &Batch{
+		N: 3,
+		Cols: []storage.Column{
+			{Name: "a", Kind: storage.Int64, Ints: []int64{1, 5, 3}},
+			{Name: "b", Kind: storage.Int64, Ints: []int64{2, 5, 1}},
+		},
+	}
+	sel := allTrue(b.N)
+	NewColCmp(Eq, Col(0, "a", storage.Int64), Col(1, "b", storage.Int64)).EvalBool(b, sel)
+	if got := selCount(sel); got != 1 {
+		t.Errorf("a = b: %d, want 1", got)
+	}
+	sel = allTrue(b.N)
+	NewColCmp(Lt, Col(0, "a", storage.Int64), Col(1, "b", storage.Int64)).EvalBool(b, sel)
+	if got := selCount(sel); got != 1 {
+		t.Errorf("a < b: %d, want 1", got)
+	}
+}
+
+func TestArith(t *testing.T) {
+	b := batch3()
+	e := NewArith(Mul, Col(1, "f", storage.Float64),
+		NewArith(Sub, ConstFloat(1), ConstFloat(0.5)))
+	out := e.Eval(b)
+	if out.Kind != storage.Float64 {
+		t.Fatal("arith result should be float")
+	}
+	for i := 0; i < b.N; i++ {
+		want := b.Cols[1].Flts[i] * 0.5
+		if out.Flts[i] != want {
+			t.Errorf("row %d: %v, want %v", i, out.Flts[i], want)
+		}
+	}
+	// Division by zero yields zero, not a panic or Inf.
+	d := NewArith(Div, ConstFloat(1), ConstFloat(0)).Eval(b)
+	if d.Flts[0] != 0 {
+		t.Errorf("1/0 = %v, want 0", d.Flts[0])
+	}
+	// Int column arithmetic promotes to float.
+	s := NewArith(Add, Col(0, "i", storage.Int64), ConstInt(10)).Eval(b)
+	if s.Flts[2] != 13 {
+		t.Errorf("i+10 at row 2 = %v, want 13", s.Flts[2])
+	}
+}
+
+func TestNullsFailPredicates(t *testing.T) {
+	b := &Batch{
+		N: 3,
+		Cols: []storage.Column{
+			{Name: "x", Kind: storage.Int64, Ints: []int64{1, 2, 3}, Nulls: []bool{false, true, false}},
+		},
+	}
+	sel := allTrue(b.N)
+	NewCmp(Ge, Col(0, "x", storage.Int64), ConstInt(0)).EvalBool(b, sel)
+	if got := selCount(sel); got != 2 {
+		t.Errorf("null row should fail predicate: selected %d", got)
+	}
+}
+
+func TestPredicateClasses(t *testing.T) {
+	ref := Col(0, "x", storage.Int64)
+	cases := []struct {
+		e    Expr
+		want Class
+	}{
+		{NewCmp(Lt, ref, ConstInt(1)), ClassComparison},
+		{NewBetween(ref, ConstInt(1), ConstInt(2)), ClassBetween},
+		{NewInListInts(ref, []int64{1}), ClassIn},
+		{NewLike(Col(0, "s", storage.String), "a%"), ClassLike},
+		{NewColCmp(Eq, ref, ref), ClassOther},
+		{NewArith(Add, ref, ref), ClassOther},
+		{ConstInt(1), ClassOther},
+		{ref, ClassOther},
+	}
+	for _, c := range cases {
+		if got := c.e.Class(); got != c.want {
+			t.Errorf("%s: class %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	ref := Col(0, "price", storage.Float64)
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{NewCmp(Le, ref, ConstFloat(9.5)), "price <= 9.5"},
+		{NewBetween(ref, ConstFloat(1), ConstFloat(2)), "price BETWEEN 1 AND 2"},
+		{NewLike(Col(0, "s", storage.String), "a%"), `s LIKE "a%"`},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	in := NewInListInts(Col(0, "k", storage.Int64), []int64{8, 9})
+	if s := in.String(); !strings.Contains(s, "IN (8, 9)") {
+		t.Errorf("in-list rendering: %q", s)
+	}
+}
+
+func TestConstEvalBroadcasts(t *testing.T) {
+	b := batch3()
+	for _, c := range []*Const{ConstInt(7), ConstFloat(1.25), ConstString("x")} {
+		out := c.Eval(b)
+		if out.Len() != b.N {
+			t.Errorf("%v: broadcast length %d", c, out.Len())
+		}
+	}
+}
+
+func TestColRefEvalCopies(t *testing.T) {
+	b := batch3()
+	out := Col(0, "i", storage.Int64).Eval(b)
+	out.Ints[0] = 999
+	if b.Cols[0].Ints[0] == 999 {
+		t.Fatal("ColRef.Eval must copy, not alias")
+	}
+}
+
+func TestOrDisjunction(t *testing.T) {
+	b := batch3()
+	sel := allTrue(b.N)
+	or := NewOr(
+		NewCmp(Le, Col(0, "i", storage.Int64), ConstInt(1)),
+		NewCmp(Ge, Col(0, "i", storage.Int64), ConstInt(5)),
+	)
+	evaluated := or.EvalBool(b, sel)
+	if evaluated != 5 {
+		t.Errorf("evaluated %d, want 5", evaluated)
+	}
+	if got := selCount(sel); got != 2 {
+		t.Errorf("i<=1 OR i>=5: %d, want 2", got)
+	}
+	if or.Class() != ClassOther {
+		t.Error("OR should classify as other")
+	}
+	if !strings.Contains(or.String(), " OR ") {
+		t.Errorf("rendering: %q", or.String())
+	}
+	// OR under a prior selection: rows filtered out stay out.
+	sel = allTrue(b.N)
+	NewCmp(Ne, Col(0, "i", storage.Int64), ConstInt(5)).EvalBool(b, sel)
+	or.EvalBool(b, sel)
+	if got := selCount(sel); got != 1 {
+		t.Errorf("masked OR: %d, want 1 (only i=1 remains)", got)
+	}
+}
+
+func TestOrKindAndNesting(t *testing.T) {
+	b := batch3()
+	inner := NewOr(
+		NewCmp(Eq, Col(0, "i", storage.Int64), ConstInt(1)),
+		NewCmp(Eq, Col(0, "i", storage.Int64), ConstInt(2)),
+	)
+	outer := NewOr(inner, NewCmp(Eq, Col(0, "i", storage.Int64), ConstInt(3)))
+	if outer.Kind() != storage.Int64 {
+		t.Error("boolean kind should be Int64")
+	}
+	sel := allTrue(b.N)
+	outer.EvalBool(b, sel)
+	if got := selCount(sel); got != 3 {
+		t.Errorf("nested OR: %d, want 3", got)
+	}
+}

@@ -1,0 +1,173 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StageRef is one operator stage inside a pipeline: which node, and in which
+// role it participates in this pipeline.
+type StageRef struct {
+	Node  *Node
+	Stage Stage
+}
+
+// Pipeline is one executable unit of a plan: it scans a source (base table
+// or materialized state of a breaker), pushes tuples through pass-through
+// and probe stages, and ends at a build stage or the query result (§2.2).
+//
+// Stages[0] is always the source stage (StageScan). If the pipeline feeds a
+// breaker, the final stage is that breaker's StageBuild.
+type Pipeline struct {
+	// Index is the position of the pipeline in execution order.
+	Index int
+	// Stages lists the operator stages in push order.
+	Stages []StageRef
+}
+
+// Source returns the scan stage the pipeline starts from.
+func (p *Pipeline) Source() StageRef { return p.Stages[0] }
+
+// SourceCard returns the number of tuples scanned at the start of the
+// pipeline — the cardinality T3 multiplies its per-tuple prediction by.
+func (p *Pipeline) SourceCard(m CardMode) float64 {
+	src := p.Source()
+	switch src.Node.Op {
+	case TableScanOp:
+		return src.Node.ScanCard
+	default:
+		// Scan stage of a breaker: scans that breaker's materialized output.
+		return src.Node.OutCard.Get(m)
+	}
+}
+
+// ReachCard returns, for stage index si, the number of tuples arriving at
+// that stage (over the stream it consumes in this pipeline).
+func (p *Pipeline) ReachCard(si int, m CardMode) float64 {
+	if si == 0 {
+		return p.SourceCard(m)
+	}
+	prev := p.Stages[si-1]
+	switch prev.Stage {
+	case StageScan, StagePassThrough, StageProbe:
+		return prev.Node.OutCard.Get(m)
+	default:
+		return 0
+	}
+}
+
+// Percentage returns the fraction of pipeline-source tuples that reach stage
+// si. This is T3's most-used feature (§3, "Basic Features"): the product of
+// the selectivities of all preceding operators.
+func (p *Pipeline) Percentage(si int, m CardMode) float64 {
+	src := p.SourceCard(m)
+	if src <= 0 {
+		// An empty source means no tuple ever flows; define all percentages
+		// as zero.
+		return 0
+	}
+	return p.ReachCard(si, m) / src
+}
+
+// String renders the pipeline as "src -> stage -> stage".
+func (p *Pipeline) String() string {
+	parts := make([]string, len(p.Stages))
+	for i, s := range p.Stages {
+		parts[i] = fmt.Sprintf("%s.%s", s.Node.Op, s.Stage)
+	}
+	return fmt.Sprintf("P%d[%s]", p.Index, strings.Join(parts, " -> "))
+}
+
+// Decompose splits a plan tree into its pipelines in execution order:
+// dependencies (join build sides, breaker inputs) come before the pipelines
+// that consume their materialized state. The final pipeline produces the
+// query result.
+func Decompose(root *Node) []*Pipeline {
+	var done []*Pipeline
+
+	var visit func(n *Node) *Pipeline
+	visit = func(n *Node) *Pipeline {
+		switch n.Op {
+		case TableScanOp:
+			return &Pipeline{Stages: []StageRef{{Node: n, Stage: StageScan}}}
+
+		case FilterOp, MapOp, LimitOp:
+			p := visit(n.Left)
+			p.Stages = append(p.Stages, StageRef{Node: n, Stage: StagePassThrough})
+			return p
+
+		case HashJoinOp:
+			// Build side: close its pipeline at our build stage.
+			pb := visit(n.Left)
+			pb.Stages = append(pb.Stages, StageRef{Node: n, Stage: StageBuild})
+			pb.Index = len(done)
+			done = append(done, pb)
+			// Probe side: continue the open pipeline through our probe stage.
+			pp := visit(n.Right)
+			pp.Stages = append(pp.Stages, StageRef{Node: n, Stage: StageProbe})
+			return pp
+
+		case GroupByOp, SortOp, WindowOp, MaterializeOp:
+			// Input pipeline ends at our build stage.
+			pb := visit(n.Left)
+			pb.Stages = append(pb.Stages, StageRef{Node: n, Stage: StageBuild})
+			pb.Index = len(done)
+			done = append(done, pb)
+			// A new pipeline starts scanning our materialized state.
+			return &Pipeline{Stages: []StageRef{{Node: n, Stage: StageScan}}}
+
+		default:
+			panic(fmt.Sprintf("plan: unknown operator %v", n.Op))
+		}
+	}
+
+	last := visit(root)
+	last.Index = len(done)
+	done = append(done, last)
+	return done
+}
+
+// StageOf returns the stage the node executes within the pipeline containing
+// it as a non-source member, following the paper's Listing 1 pseudocode
+// (op.getStage(pipeline)).
+func StageOf(n *Node, p *Pipeline) (Stage, bool) {
+	for _, s := range p.Stages {
+		if s.Node == n {
+			return s.Stage, true
+		}
+	}
+	return 0, false
+}
+
+// ValidatePipelines performs structural sanity checks used by tests and the
+// featurizer: every pipeline starts with a scan stage, breakers appear with
+// a build stage exactly once across all pipelines, and only probe or
+// pass-through stages repeat within a pipeline.
+func ValidatePipelines(ps []*Pipeline) error {
+	buildSeen := make(map[*Node]int)
+	for _, p := range ps {
+		if len(p.Stages) == 0 {
+			return fmt.Errorf("pipeline %d is empty", p.Index)
+		}
+		if p.Stages[0].Stage != StageScan {
+			return fmt.Errorf("pipeline %d starts with %v, want Scan", p.Index, p.Stages[0].Stage)
+		}
+		for i, s := range p.Stages[1:] {
+			switch s.Stage {
+			case StageScan:
+				return fmt.Errorf("pipeline %d has Scan at position %d", p.Index, i+1)
+			case StageBuild:
+				if i+1 != len(p.Stages)-1 {
+					return fmt.Errorf("pipeline %d has Build before its end", p.Index)
+				}
+				buildSeen[s.Node]++
+			}
+		}
+	}
+	for n, c := range buildSeen {
+		if c != 1 {
+			return fmt.Errorf("node %v has %d build stages", n, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package plan
+
+import (
+	"testing"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/storage"
+)
+
+// testTable builds a tiny table with n rows: id (0..n-1), val (float), name.
+func testTable(t *testing.T, name string, n int) *storage.Table {
+	t.Helper()
+	ids := make([]int64, n)
+	vals := make([]float64, n)
+	strs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		vals[i] = float64(i) * 1.5
+		strs[i] = "row"
+	}
+	return storage.MustNewTable(name,
+		storage.Column{Name: "id", Kind: storage.Int64, Ints: ids},
+		storage.Column{Name: "val", Kind: storage.Float64, Flts: vals},
+		storage.Column{Name: "name", Kind: storage.String, Strs: strs},
+	)
+}
+
+func TestDecomposeScanOnly(t *testing.T) {
+	tab := testTable(t, "t", 10)
+	scan := NewTableScan(tab, []int{0, 1})
+	ps := Decompose(scan)
+	if len(ps) != 1 {
+		t.Fatalf("got %d pipelines, want 1", len(ps))
+	}
+	if err := ValidatePipelines(ps); err != nil {
+		t.Fatal(err)
+	}
+	if len(ps[0].Stages) != 1 || ps[0].Stages[0].Stage != StageScan {
+		t.Fatalf("unexpected stages %v", ps[0])
+	}
+	if got := ps[0].SourceCard(TrueCards); got != 10 {
+		t.Fatalf("source card = %v, want 10", got)
+	}
+}
+
+func TestDecomposeJoinAggregate(t *testing.T) {
+	// Shape of the paper's running example: two scans, a join, and a
+	// group-by; finally an order-by.
+	//   Sort(GroupBy(HashJoin(build=scan1, probe=scan2)))
+	t1 := testTable(t, "t1", 100)
+	t2 := testTable(t, "t2", 1000)
+	s1 := NewTableScan(t1, []int{0, 1})
+	s2 := NewTableScan(t2, []int{0, 1})
+	join := NewHashJoin(s1, s2, []int{0}, []int{0}, []int{1})
+	gb := NewGroupBy(join, []int{0}, []Agg{{Fn: AggSum, Col: 1}}, []string{"s"})
+	srt := NewSort(gb, []int{1}, []bool{true})
+
+	ps := Decompose(srt)
+	if err := ValidatePipelines(ps); err != nil {
+		t.Fatal(err)
+	}
+	// Expected pipelines:
+	//   P0: scan t1 -> join build
+	//   P1: scan t2 -> join probe -> groupby build
+	//   P2: groupby scan -> sort build
+	//   P3: sort scan (result)
+	if len(ps) != 4 {
+		t.Fatalf("got %d pipelines, want 4:\n%v %v", len(ps), ps[0], ps[1])
+	}
+	wantLens := []int{2, 3, 2, 1}
+	for i, p := range ps {
+		if len(p.Stages) != wantLens[i] {
+			t.Errorf("pipeline %d has %d stages, want %d (%v)", i, len(p.Stages), wantLens[i], p)
+		}
+		if p.Index != i {
+			t.Errorf("pipeline %d has index %d", i, p.Index)
+		}
+	}
+	if ps[0].Stages[1].Stage != StageBuild || ps[0].Stages[1].Node != join {
+		t.Errorf("P0 should end at join build, got %v", ps[0])
+	}
+	if ps[1].Stages[1].Stage != StageProbe || ps[1].Stages[2].Node != gb {
+		t.Errorf("P1 should probe join then build groupby, got %v", ps[1])
+	}
+}
+
+func TestDecomposeEveryOperatorAppearsOnce(t *testing.T) {
+	// Each operator must appear exactly once per stage role across all
+	// pipelines: breakers get a build plus either scan (unary) or probe
+	// (join) appearances; pass-through ops appear once.
+	tab := testTable(t, "t", 50)
+	s1 := NewTableScan(tab, []int{0, 1})
+	f := NewFilter(s1, expr.NewCmp(expr.Gt, expr.Col(0, "id", storage.Int64), expr.ConstInt(5)))
+	mat := NewMaterialize(f)
+	srt := NewSort(mat, []int{0}, []bool{false})
+	ps := Decompose(srt)
+	if err := ValidatePipelines(ps); err != nil {
+		t.Fatal(err)
+	}
+
+	appearances := map[*Node]map[Stage]int{}
+	for _, p := range ps {
+		for _, s := range p.Stages {
+			if appearances[s.Node] == nil {
+				appearances[s.Node] = map[Stage]int{}
+			}
+			appearances[s.Node][s.Stage]++
+		}
+	}
+	if appearances[s1][StageScan] != 1 {
+		t.Errorf("scan appears %d times", appearances[s1][StageScan])
+	}
+	if appearances[f][StagePassThrough] != 1 {
+		t.Errorf("filter appears %d times", appearances[f][StagePassThrough])
+	}
+	for _, breaker := range []*Node{mat, srt} {
+		if appearances[breaker][StageBuild] != 1 || appearances[breaker][StageScan] != 1 {
+			t.Errorf("breaker %v appearances: %v", breaker, appearances[breaker])
+		}
+	}
+}
+
+func TestPercentages(t *testing.T) {
+	tab := testTable(t, "t", 1000)
+	scan := NewTableScan(tab, []int{0, 1},
+		expr.NewCmp(expr.Lt, expr.Col(0, "id", storage.Int64), expr.ConstInt(200)))
+	f := NewFilter(scan, expr.NewCmp(expr.Lt, expr.Col(0, "id", storage.Int64), expr.ConstInt(100)))
+	mat := NewMaterialize(f)
+
+	// Fill true cards by hand (the executor normally does this).
+	scan.OutCard.True = 200
+	f.OutCard.True = 100
+	mat.OutCard.True = 100
+
+	ps := Decompose(mat)
+	p0 := ps[0]
+	if got := p0.Percentage(0, TrueCards); got != 1 {
+		t.Errorf("scan stage percentage = %v, want 1", got)
+	}
+	// Filter is stage 1: tuples reaching it are scan's output.
+	if got := p0.Percentage(1, TrueCards); got != 0.2 {
+		t.Errorf("filter stage percentage = %v, want 0.2", got)
+	}
+	// Materialize build is stage 2: tuples reaching it are filter's output.
+	if got := p0.Percentage(2, TrueCards); got != 0.1 {
+		t.Errorf("materialize stage percentage = %v, want 0.1", got)
+	}
+}
+
+func TestCardModeSelection(t *testing.T) {
+	c := Card{True: 100, Est: 42}
+	if c.Get(TrueCards) != 100 || c.Get(EstCards) != 42 {
+		t.Fatalf("Card.Get mismatch: %v", c)
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	tab := testTable(t, "t", 10)
+	scan := NewTableScan(tab, []int{0})
+	srt := NewSort(scan, []int{0}, []bool{false})
+	ps := Decompose(srt)
+	if s, ok := StageOf(srt, ps[0]); !ok || s != StageBuild {
+		t.Errorf("sort in P0: stage %v ok=%v, want Build", s, ok)
+	}
+	if s, ok := StageOf(srt, ps[1]); !ok || s != StageScan {
+		t.Errorf("sort in P1: stage %v ok=%v, want Scan", s, ok)
+	}
+	if _, ok := StageOf(scan, ps[1]); ok {
+		t.Error("scan should not be in P1")
+	}
+}
+
+func TestSchemaWidthAndProject(t *testing.T) {
+	tab := testTable(t, "t", 10)
+	scan := NewTableScan(tab, []int{0, 1, 2})
+	if w := SchemaWidth(scan.Schema); w != 8+8+16 {
+		t.Errorf("schema width = %d, want 32", w)
+	}
+	pr := Project(scan, []int{1})
+	if len(pr.Schema) != 1 || pr.Schema[0].Name != "val" {
+		t.Errorf("projection schema = %v", pr.Schema)
+	}
+	if !pr.MapReplaces() {
+		t.Error("projection should replace schema")
+	}
+}

@@ -1,0 +1,229 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/storage"
+)
+
+func TestOpTypeAndStageNames(t *testing.T) {
+	wantOps := map[OpType]string{
+		TableScanOp: "TableScan", FilterOp: "Filter", MapOp: "Map",
+		HashJoinOp: "HashJoin", GroupByOp: "GroupBy", SortOp: "Sort",
+		WindowOp: "Window", MaterializeOp: "Materialize", LimitOp: "Limit",
+	}
+	for op, want := range wantOps {
+		if op.String() != want {
+			t.Errorf("%d: %q, want %q", op, op.String(), want)
+		}
+	}
+	if NumOpTypes != len(wantOps) {
+		t.Errorf("NumOpTypes = %d, want %d", NumOpTypes, len(wantOps))
+	}
+	wantStages := map[Stage]string{
+		StageBuild: "Build", StageProbe: "Probe", StageScan: "Scan", StagePassThrough: "PassThrough",
+	}
+	for s, want := range wantStages {
+		if s.String() != want {
+			t.Errorf("stage %d: %q, want %q", s, s.String(), want)
+		}
+	}
+	if NumStages != len(wantStages) {
+		t.Errorf("NumStages = %d", NumStages)
+	}
+}
+
+func TestAggAndWindowNames(t *testing.T) {
+	for fn, want := range map[AggFn]string{
+		AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max", AggAvg: "avg",
+	} {
+		if fn.String() != want {
+			t.Errorf("agg %d: %q", fn, fn.String())
+		}
+	}
+	for fn, want := range map[WinFn]string{
+		WinRowNumber: "row_number", WinRank: "rank", WinSum: "sum",
+	} {
+		if fn.String() != want {
+			t.Errorf("win %d: %q", fn, fn.String())
+		}
+	}
+}
+
+func TestWalkCountAndStreams(t *testing.T) {
+	t1 := testTable(t, "a", 100)
+	t2 := testTable(t, "b", 200)
+	s1 := NewTableScan(t1, []int{0, 1})
+	s2 := NewTableScan(t2, []int{0, 1})
+	j := NewHashJoin(s1, s2, []int{0}, []int{0}, []int{1})
+	g := NewGroupBy(j, []int{0}, []Agg{{Fn: AggCount}}, []string{"c"})
+
+	if got := g.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	var order []OpType
+	g.Walk(func(n *Node) { order = append(order, n.Op) })
+	want := []OpType{TableScanOp, TableScanOp, HashJoinOp, GroupByOp}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", order, want)
+		}
+	}
+
+	s1.OutCard.True = 100
+	s2.OutCard.True = 200
+	j.OutCard.True = 200
+	if j.InCard(TrueCards) != 100 {
+		t.Errorf("join in card = %v", j.InCard(TrueCards))
+	}
+	if j.RightCard(TrueCards) != 200 {
+		t.Errorf("join right card = %v", j.RightCard(TrueCards))
+	}
+	if s1.InCard(TrueCards) != 100 {
+		t.Errorf("scan in card = %v (base table)", s1.InCard(TrueCards))
+	}
+	if g.RightCard(TrueCards) != 0 {
+		t.Errorf("unary right card = %v", g.RightCard(TrueCards))
+	}
+	if j.InWidth() != SchemaWidth(s1.Schema) {
+		t.Errorf("join in width = %d", j.InWidth())
+	}
+	if s1.InWidth() != SchemaWidth(s1.Schema) {
+		t.Errorf("scan in width = %d", s1.InWidth())
+	}
+}
+
+func TestNodeStringAndExplain(t *testing.T) {
+	tab := testTable(t, "t", 10)
+	scan := NewTableScan(tab, []int{0, 1},
+		expr.NewCmp(expr.Lt, expr.Col(0, "id", storage.Int64), expr.ConstInt(5)))
+	f := NewFilter(scan, expr.NewCmp(expr.Gt, expr.Col(1, "val", storage.Float64), expr.ConstFloat(1)))
+	m := NewMap(f, []string{"x"}, []expr.ValueExpr{expr.ConstFloat(1)})
+	srt := NewSort(m, []int{0}, []bool{true})
+	lim := NewLimit(srt, 3)
+	win := NewWindow(lim, WinRank, []int{0}, []int{1}, 0, "r")
+	mat := NewMaterialize(win)
+
+	for _, pair := range []struct {
+		node *Node
+		want string
+	}{
+		{scan, "TableScan(t)"},
+		{f, "Filter["},
+		{m, "Map(1 exprs)"},
+		{srt, "Sort("},
+		{lim, "Limit(3)"},
+		{win, "Window(rank)"},
+		{mat, "Materialize"},
+	} {
+		if !strings.Contains(pair.node.String(), pair.want) {
+			t.Errorf("String() = %q, want substring %q", pair.node.String(), pair.want)
+		}
+	}
+
+	ex := mat.Explain()
+	for _, want := range []string{"TableScan(t)", "id < 5", "card true=", "Materialize"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("Explain missing %q:\n%s", want, ex)
+		}
+	}
+	// Indentation: the scan is the deepest node.
+	if !strings.Contains(ex, strings.Repeat("  ", 6)+"TableScan") {
+		t.Errorf("Explain indentation wrong:\n%s", ex)
+	}
+}
+
+func TestGroupBySchemaKinds(t *testing.T) {
+	tab := testTable(t, "t", 10)
+	scan := NewTableScan(tab, []int{0, 1, 2}) // id int, val float, name string
+	gb := NewGroupBy(scan, []int{2}, []Agg{
+		{Fn: AggCount},
+		{Fn: AggSum, Col: 1},
+		{Fn: AggMin, Col: 0},
+		{Fn: AggMax, Col: 2},
+		{Fn: AggAvg, Col: 0},
+	}, []string{"c", "s", "mn", "mx", "av"})
+	wantKinds := []storage.Type{
+		storage.String,  // group col
+		storage.Int64,   // count
+		storage.Float64, // sum
+		storage.Int64,   // min over int keeps int
+		storage.String,  // max over string keeps string
+		storage.Float64, // avg always float
+	}
+	for i, k := range wantKinds {
+		if gb.Schema[i].Kind != k {
+			t.Errorf("schema[%d] kind = %v, want %v", i, gb.Schema[i].Kind, k)
+		}
+	}
+}
+
+func TestIsBreaker(t *testing.T) {
+	tab := testTable(t, "t", 10)
+	scan := NewTableScan(tab, []int{0})
+	cases := map[*Node]bool{
+		scan: false,
+		NewFilter(scan, expr.NewCmp(expr.Gt, expr.Col(0, "id", storage.Int64), expr.ConstInt(0))): false,
+		NewLimit(scan, 1):                          false,
+		NewSort(scan, []int{0}, nil):               true,
+		NewMaterialize(scan):                       true,
+		NewGroupBy(scan, nil, nil, nil):            true,
+		NewWindow(scan, WinRank, nil, nil, 0, "w"): true,
+	}
+	for n, want := range cases {
+		if n.IsBreaker() != want {
+			t.Errorf("%v IsBreaker = %v, want %v", n.Op, n.IsBreaker(), want)
+		}
+	}
+}
+
+func TestValidatePipelinesRejectsCorrupt(t *testing.T) {
+	tab := testTable(t, "t", 10)
+	scan := NewTableScan(tab, []int{0})
+	srt := NewSort(scan, []int{0}, nil)
+
+	// Empty pipeline.
+	if err := ValidatePipelines([]*Pipeline{{}}); err == nil {
+		t.Error("empty pipeline should fail")
+	}
+	// Pipeline not starting with a scan.
+	bad := &Pipeline{Stages: []StageRef{{Node: srt, Stage: StageBuild}}}
+	if err := ValidatePipelines([]*Pipeline{bad}); err == nil {
+		t.Error("non-scan start should fail")
+	}
+	// Scan in the middle.
+	bad2 := &Pipeline{Stages: []StageRef{
+		{Node: scan, Stage: StageScan},
+		{Node: scan, Stage: StageScan},
+	}}
+	if err := ValidatePipelines([]*Pipeline{bad2}); err == nil {
+		t.Error("mid-pipeline scan should fail")
+	}
+	// Build before the end.
+	bad3 := &Pipeline{Stages: []StageRef{
+		{Node: scan, Stage: StageScan},
+		{Node: srt, Stage: StageBuild},
+		{Node: srt, Stage: StagePassThrough},
+	}}
+	if err := ValidatePipelines([]*Pipeline{bad3}); err == nil {
+		t.Error("early build should fail")
+	}
+	// Duplicate builds across pipelines.
+	dup := &Pipeline{Stages: []StageRef{
+		{Node: scan, Stage: StageScan},
+		{Node: srt, Stage: StageBuild},
+	}}
+	if err := ValidatePipelines([]*Pipeline{dup, dup}); err == nil {
+		t.Error("duplicate build should fail")
+	}
+}
+
+func TestCardGetDefaults(t *testing.T) {
+	var n Node
+	n.Op = GroupByOp
+	if n.InCard(TrueCards) != 0 || n.RightCard(EstCards) != 0 || n.InWidth() != 0 {
+		t.Error("nil children should yield zero streams")
+	}
+}

@@ -1,0 +1,465 @@
+// Package stats collects table statistics and estimates cardinalities for
+// physical plans.
+//
+// T3 deliberately decouples performance prediction from cardinality
+// estimation (§2.1): the model consumes whatever annotations the plan
+// carries. This package provides the "estimated" flavour of those
+// annotations — a textbook estimator with per-column histograms, distinct
+// counts, and independence assumptions — plus a seeded distortion injector
+// used to study accuracy under degrading estimates (Figure 12).
+package stats
+
+import (
+	"math"
+	"math/rand"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// histBuckets is the number of equi-width histogram buckets per numeric
+// column.
+const histBuckets = 64
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	// Distinct is the exact number of distinct values.
+	Distinct int
+	// Min and Max bound numeric columns (as float64, ints converted).
+	Min, Max float64
+	// Hist is an equi-width histogram over [Min, Max] for numeric columns.
+	Hist []int
+	// SampleStrings holds a few distinct values of string columns, for
+	// query generation.
+	SampleStrings []string
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	Rows int
+	Cols []ColumnStats
+}
+
+// DBStats holds statistics for all tables of a database instance.
+type DBStats struct {
+	Tables map[string]*TableStats
+}
+
+// Collect computes statistics for a table.
+func Collect(t *storage.Table) *TableStats {
+	ts := &TableStats{Rows: t.NumRows(), Cols: make([]ColumnStats, len(t.Columns))}
+	for ci := range t.Columns {
+		col := &t.Columns[ci]
+		cs := &ts.Cols[ci]
+		switch col.Kind {
+		case storage.Int64:
+			seen := make(map[int64]struct{})
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for _, v := range col.Ints {
+				seen[v] = struct{}{}
+				f := float64(v)
+				if f < mn {
+					mn = f
+				}
+				if f > mx {
+					mx = f
+				}
+			}
+			cs.Distinct = len(seen)
+			cs.Min, cs.Max = mn, mx
+			cs.Hist = buildHistInts(col.Ints, mn, mx)
+		case storage.Float64:
+			seen := make(map[float64]struct{})
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for _, v := range col.Flts {
+				seen[v] = struct{}{}
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			cs.Distinct = len(seen)
+			cs.Min, cs.Max = mn, mx
+			cs.Hist = buildHistFloats(col.Flts, mn, mx)
+		case storage.String:
+			seen := make(map[string]struct{})
+			for _, v := range col.Strs {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					if len(cs.SampleStrings) < 32 {
+						cs.SampleStrings = append(cs.SampleStrings, v)
+					}
+				}
+			}
+			cs.Distinct = len(seen)
+		}
+		if ts.Rows == 0 {
+			cs.Min, cs.Max = 0, 0
+		}
+	}
+	return ts
+}
+
+// CollectDB computes statistics for every table of a database.
+func CollectDB(db *storage.Database) *DBStats {
+	s := &DBStats{Tables: make(map[string]*TableStats, len(db.Tables))}
+	for _, t := range db.Tables {
+		s.Tables[t.Name] = Collect(t)
+	}
+	return s
+}
+
+func buildHistInts(vs []int64, mn, mx float64) []int {
+	if len(vs) == 0 || mx <= mn {
+		return nil
+	}
+	h := make([]int, histBuckets)
+	w := (mx - mn) / histBuckets
+	for _, v := range vs {
+		b := int((float64(v) - mn) / w)
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h[b]++
+	}
+	return h
+}
+
+func buildHistFloats(vs []float64, mn, mx float64) []int {
+	if len(vs) == 0 || mx <= mn {
+		return nil
+	}
+	h := make([]int, histBuckets)
+	w := (mx - mn) / histBuckets
+	for _, v := range vs {
+		b := int((v - mn) / w)
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h[b]++
+	}
+	return h
+}
+
+// rangeFraction estimates the fraction of values in [lo, hi] using the
+// histogram with linear interpolation within buckets.
+func (cs *ColumnStats) rangeFraction(lo, hi float64) float64 {
+	if hi < lo || cs.Distinct == 0 {
+		return 0
+	}
+	if cs.Hist == nil {
+		// Degenerate column (constant): all values equal Min.
+		if lo <= cs.Min && cs.Min <= hi {
+			return 1
+		}
+		return 0
+	}
+	total := 0
+	for _, c := range cs.Hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	w := (cs.Max - cs.Min) / float64(len(cs.Hist))
+	sum := 0.0
+	for b, c := range cs.Hist {
+		bLo := cs.Min + float64(b)*w
+		bHi := bLo + w
+		if b == len(cs.Hist)-1 {
+			bHi = cs.Max
+		}
+		oLo := math.Max(lo, bLo)
+		oHi := math.Min(hi, bHi)
+		if oHi <= oLo {
+			if oLo == oHi && oLo == bLo && bLo == bHi {
+				sum += float64(c)
+			}
+			continue
+		}
+		frac := 1.0
+		if bHi > bLo {
+			frac = (oHi - oLo) / (bHi - bLo)
+		}
+		sum += float64(c) * frac
+	}
+	f := sum / float64(total)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// colProv tracks where an intermediate column came from, for distinct-count
+// propagation through joins and aggregations.
+type colProv struct {
+	distinct float64
+	stats    *ColumnStats // base-table stats, nil for computed columns
+}
+
+// Estimator fills the Est side of a plan's cardinality annotations.
+type Estimator struct {
+	DB *DBStats
+}
+
+// Estimate annotates root's OutCard.Est (and PredSel Est for scans)
+// bottom-up, using independence assumptions and textbook formulas.
+func (e *Estimator) Estimate(root *plan.Node) {
+	e.estimate(root)
+}
+
+func (e *Estimator) estimate(n *plan.Node) []colProv {
+	switch n.Op {
+	case plan.TableScanOp:
+		return e.estimateScan(n)
+	case plan.FilterOp:
+		prov := e.estimate(n.Left)
+		sel := e.predSel(n.FilterPred, prov)
+		n.OutCard.Est = n.Left.OutCard.Est * sel
+		return capProv(prov, n.OutCard.Est)
+	case plan.MapOp:
+		prov := e.estimate(n.Left)
+		n.OutCard.Est = n.Left.OutCard.Est
+		if n.MapReplaces() {
+			out := make([]colProv, 0, len(n.MapExprs))
+			for _, ex := range n.MapExprs {
+				if cr, ok := ex.(*expr.ColRef); ok {
+					out = append(out, prov[cr.Idx])
+				} else {
+					out = append(out, colProv{distinct: n.OutCard.Est})
+				}
+			}
+			return out
+		}
+		out := append([]colProv(nil), prov...)
+		for range n.MapExprs {
+			out = append(out, colProv{distinct: n.OutCard.Est})
+		}
+		return out
+	case plan.HashJoinOp:
+		bProv := e.estimate(n.Left)
+		pProv := e.estimate(n.Right)
+		l := n.Left.OutCard.Est
+		r := n.Right.OutCard.Est
+		dmax := 1.0
+		for k := range n.BuildKeys {
+			dl := math.Max(bProv[n.BuildKeys[k]].distinct, 1)
+			dr := math.Max(pProv[n.ProbeKeys[k]].distinct, 1)
+			dmax *= math.Max(dl, dr)
+		}
+		n.OutCard.Est = l * r / math.Max(dmax, 1)
+		out := append([]colProv(nil), pProv...)
+		for _, ci := range n.BuildPayload {
+			out = append(out, bProv[ci])
+		}
+		return capProv(out, n.OutCard.Est)
+	case plan.GroupByOp:
+		prov := e.estimate(n.Left)
+		in := n.Left.OutCard.Est
+		if len(n.GroupCols) == 0 {
+			n.OutCard.Est = 1
+		} else {
+			d := 1.0
+			for _, ci := range n.GroupCols {
+				d *= math.Max(prov[ci].distinct, 1)
+			}
+			n.OutCard.Est = math.Min(in, d)
+		}
+		out := make([]colProv, 0, len(n.Schema))
+		for _, ci := range n.GroupCols {
+			out = append(out, prov[ci])
+		}
+		for range n.Aggs {
+			out = append(out, colProv{distinct: n.OutCard.Est})
+		}
+		return capProv(out, n.OutCard.Est)
+	case plan.SortOp, plan.MaterializeOp:
+		prov := e.estimate(n.Left)
+		n.OutCard.Est = n.Left.OutCard.Est
+		return prov
+	case plan.WindowOp:
+		prov := e.estimate(n.Left)
+		n.OutCard.Est = n.Left.OutCard.Est
+		return append(append([]colProv(nil), prov...), colProv{distinct: n.OutCard.Est})
+	case plan.LimitOp:
+		prov := e.estimate(n.Left)
+		n.OutCard.Est = math.Min(n.Left.OutCard.Est, float64(n.LimitN))
+		return capProv(prov, n.OutCard.Est)
+	default:
+		return nil
+	}
+}
+
+// capProv limits distinct counts to the stream cardinality.
+func capProv(prov []colProv, card float64) []colProv {
+	out := make([]colProv, len(prov))
+	for i, p := range prov {
+		out[i] = p
+		if out[i].distinct > card {
+			out[i].distinct = card
+		}
+	}
+	return out
+}
+
+func (e *Estimator) estimateScan(n *plan.Node) []colProv {
+	ts := e.DB.Tables[n.TableName]
+	prov := make([]colProv, len(n.ScanCols))
+	for i, ci := range n.ScanCols {
+		var cs *ColumnStats
+		d := 1.0
+		if ts != nil && ci < len(ts.Cols) {
+			cs = &ts.Cols[ci]
+			d = float64(cs.Distinct)
+		}
+		prov[i] = colProv{distinct: d, stats: cs}
+	}
+	card := n.ScanCard
+	for i, pred := range n.Predicates {
+		sel := e.predSel(pred, prov)
+		n.PredSel[i].Est = sel
+		card *= sel
+	}
+	n.OutCard.Est = card
+	return capProv(prov, card)
+}
+
+// predSel estimates the selectivity of one predicate given column
+// provenance.
+func (e *Estimator) predSel(p expr.BoolExpr, prov []colProv) float64 {
+	switch q := p.(type) {
+	case *expr.Cmp:
+		cs := prov[q.Left.Idx].stats
+		d := math.Max(prov[q.Left.Idx].distinct, 1)
+		v := constVal(q.Val)
+		switch q.Op {
+		case expr.Eq:
+			return clampSel(1 / d)
+		case expr.Ne:
+			return clampSel(1 - 1/d)
+		case expr.Lt, expr.Le:
+			if cs != nil {
+				return clampSel(cs.rangeFraction(math.Inf(-1), v))
+			}
+			return 1.0 / 3
+		default: // Gt, Ge
+			if cs != nil {
+				return clampSel(cs.rangeFraction(v, math.Inf(1)))
+			}
+			return 1.0 / 3
+		}
+	case *expr.Between:
+		cs := prov[q.Col.Idx].stats
+		if cs != nil {
+			return clampSel(cs.rangeFraction(constVal(q.Lo), constVal(q.Hi)))
+		}
+		return 0.25
+	case *expr.InList:
+		d := math.Max(prov[q.Col.Idx].distinct, 1)
+		k := float64(len(q.Ints) + len(q.Strs))
+		return clampSel(k / d)
+	case *expr.Like:
+		// Heuristic: selectivity decays with the number of literal
+		// characters in the pattern.
+		lit := 0
+		for i := 0; i < len(q.Pattern); i++ {
+			if q.Pattern[i] != '%' && q.Pattern[i] != '_' {
+				lit++
+			}
+		}
+		return clampSel(math.Pow(2, -float64(lit)/2))
+	case *expr.ColCmp:
+		if q.Op == expr.Eq {
+			d := math.Max(math.Max(prov[q.Left.Idx].distinct, prov[q.Right.Idx].distinct), 1)
+			return clampSel(1 / d)
+		}
+		return 1.0 / 3
+	default:
+		return 1.0 / 3
+	}
+}
+
+func constVal(c *expr.Const) float64 {
+	if c.Typ == storage.Int64 {
+		return float64(c.I)
+	}
+	return c.F
+}
+
+func clampSel(s float64) float64 {
+	if math.IsNaN(s) || s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// CopyTrueToEst sets every Est annotation to the measured True value —
+// the paper's "perfect cardinalities" configuration.
+func CopyTrueToEst(root *plan.Node) {
+	root.Walk(func(n *plan.Node) {
+		n.OutCard.Est = n.OutCard.True
+		for i := range n.PredSel {
+			n.PredSel[i].Est = n.PredSel[i].True
+		}
+	})
+}
+
+// SnapshotEst captures all Est annotations of a plan so experiments that
+// overwrite them (e.g. the distortion sweep) can restore the originals.
+func SnapshotEst(root *plan.Node) []float64 {
+	var snap []float64
+	root.Walk(func(n *plan.Node) {
+		snap = append(snap, n.OutCard.Est)
+		for i := range n.PredSel {
+			snap = append(snap, n.PredSel[i].Est)
+		}
+	})
+	return snap
+}
+
+// RestoreEst writes back a snapshot taken by SnapshotEst.
+func RestoreEst(root *plan.Node, snap []float64) {
+	i := 0
+	root.Walk(func(n *plan.Node) {
+		n.OutCard.Est = snap[i]
+		i++
+		for k := range n.PredSel {
+			n.PredSel[k].Est = snap[i]
+			i++
+		}
+	})
+}
+
+// Distort overwrites every Est annotation with the True value multiplied by
+// a log-uniform random factor in [1/factor, factor] (factor ≥ 1). With
+// factor = 1 this equals CopyTrueToEst. Used for the degradation sweep of
+// Figure 12.
+func Distort(root *plan.Node, factor float64, seed int64) {
+	if factor < 1 {
+		factor = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lf := math.Log(factor)
+	root.Walk(func(n *plan.Node) {
+		u := rng.Float64()*2 - 1
+		n.OutCard.Est = n.OutCard.True * math.Exp(u*lf)
+		for i := range n.PredSel {
+			// Selectivities stay within [0, 1].
+			v := rng.Float64()*2 - 1
+			s := n.PredSel[i].True * math.Exp(v*lf)
+			n.PredSel[i].Est = clampSel(s)
+		}
+	})
+}

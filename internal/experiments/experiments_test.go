@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"t3/internal/benchdata"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *Env
+)
+
+// sharedEnv returns a tiny experiment environment shared across tests.
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		cfg := Config{
+			Corpus:               benchdata.Config{Scale: 0.04, PerGroup: 2, Runs: 3, Seed: 13, ReleaseTables: true},
+			Rounds:               50,
+			NNEpochs:             6,
+			LeaveOneOutInstances: 3,
+			JOBScale:             0.01,
+			JOBQueries:           8,
+			DeepRunInstances:     3,
+			DeepRuns:             10,
+		}
+		testEnv = NewEnv(cfg)
+	})
+	return testEnv
+}
+
+func TestTable1LatencyOrdering(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := e.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Format())
+	// The paper's headline shape: compiled model evaluation is faster than
+	// interpreted (the full-path numbers also include featurization, which
+	// dominates for small test models, so assert on the model-only step).
+	// With small 50-round test models the two are close, so allow 15%
+	// timing noise — the decisive 5x gap on the real 200-tree model is
+	// asserted by BenchmarkTable1_ModelEval* against internal/compiled.
+	if float64(r.T3ModelCompiled) > 1.15*float64(r.T3ModelInterp) {
+		t.Errorf("compiled model eval %v materially slower than interpreted %v", r.T3ModelCompiled, r.T3ModelInterp)
+	}
+	if r.T3Compiled >= r.ZeroShotNN {
+		t.Errorf("compiled %v not faster than NN %v", r.T3Compiled, r.ZeroShotNN)
+	}
+	if r.StageCache >= r.ZeroShotNN {
+		t.Errorf("cache %v not faster than NN %v", r.StageCache, r.ZeroShotNN)
+	}
+}
+
+func TestTable2Throughput(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := e.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Format())
+	for _, row := range r.Rows {
+		if row.Single <= 0 || row.Batched <= 0 {
+			t.Errorf("%s: nonpositive throughput", row.Model)
+		}
+	}
+	// Compiled throughput clearly beats the NN. The compiled-vs-interpreted
+	// margin is featurization-dominated for small test models and too noisy
+	// to assert on a shared single-vCPU box; the model-only superiority is
+	// asserted by the allocation-free BenchmarkTable1_ModelEval* benchmarks.
+	if r.Rows[0].Single <= 1.5*r.Rows[2].Single {
+		t.Errorf("compiled single throughput should dominate the NN: %+v", r.Rows)
+	}
+}
+
+func TestTable3Deviations(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := e.RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Format())
+	if r.Summary.N == 0 {
+		t.Fatal("no deviation statistics computed")
+	}
+	if r.Summary.P50 < 1 {
+		t.Errorf("q-error below 1 is impossible: %v", r.Summary.P50)
+	}
+}
+
+func TestTable4Accuracy(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := e.RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Format())
+	if len(r.Rows) != 5 {
+		t.Fatalf("want 5 splits, got %d", len(r.Rows))
+	}
+	train, test := r.Rows[0].Summary, r.Rows[1].Summary
+	if train.P50 > test.P50+0.5 {
+		t.Errorf("train p50 %.2f should not exceed test p50 %.2f", train.P50, test.P50)
+	}
+	if test.P50 > 4 {
+		t.Errorf("test p50 %.2f too high", test.P50)
+	}
+}
+
+func TestFigures6to8(t *testing.T) {
+	e := sharedEnv(t)
+	f6, err := e.RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f6.Format())
+	total := 0
+	for _, c := range f6.Counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("figure 6 histogram empty")
+	}
+
+	f7, err := e.RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f7.Format())
+
+	f8, err := e.RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f8.Format())
+	if len(f8.Rows) < 10 {
+		t.Errorf("figure 8 covers only %d groups", len(f8.Rows))
+	}
+}
+
+func TestFig9LeaveOneOut(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	if len(f.Rows) != 3 {
+		t.Fatalf("expected 3 leave-one-out rows, got %d", len(f.Rows))
+	}
+}
+
+func TestFig10JOBComparison(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	if f.T3.N == 0 || f.ZeroShot.N == 0 {
+		t.Fatal("missing JOB evaluations")
+	}
+}
+
+func TestFig11CardinalityModes(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	// Perfect cardinalities should beat estimated ones (paper: "the median
+	// q-error degrades for imperfect cardinality estimates").
+	if f.TrainPerfectEvalPerfect.P50 > f.TrainPerfectEvalEst.P50+0.3 {
+		t.Errorf("perfect eval p50 %.2f unexpectedly worse than estimated %.2f",
+			f.TrainPerfectEvalPerfect.P50, f.TrainPerfectEvalEst.P50)
+	}
+}
+
+func TestFig12Degradation(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	// Accuracy must degrade from exact to heavily distorted estimates.
+	first, last := f.T3P50[0], f.T3P50[len(f.T3P50)-1]
+	if last <= first {
+		t.Errorf("T3 p50 did not degrade under 1000x distortion: %v -> %v", first, last)
+	}
+}
+
+func TestFig13Ablation(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	// The paper's central ablation: tuple-centric per-pipeline prediction
+	// beats whole-query prediction.
+	if f.PerTuple.P50 >= f.PerQuery.P50 {
+		t.Errorf("per-tuple p50 %.2f should beat per-query p50 %.2f", f.PerTuple.P50, f.PerQuery.P50)
+	}
+}
+
+func TestFig14BenchmarkRuns(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	if len(f.P50) != len(f.Runs) {
+		t.Fatal("missing run counts")
+	}
+	// Paper: no strong dependence on run count; all variants stay sane.
+	for i, p := range f.P50 {
+		if p > 10 {
+			t.Errorf("runs=%d p50=%.2f exploded", f.Runs[i], p)
+		}
+	}
+}
+
+func TestTables5And6JoinOrdering(t *testing.T) {
+	e := sharedEnv(t)
+	t5, err := e.RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + t5.Format())
+	if len(t5.Rows) != 2 {
+		t.Fatal("expected Cout and T3 rows")
+	}
+	cout, t3row := t5.Rows[0], t5.Rows[1]
+	// §5.5: twice as many calls to T3 as to Cout; T3 optimization is
+	// substantially slower.
+	if t3row.ModelCalls < 2*cout.ModelCalls {
+		t.Errorf("T3 calls %d < 2x Cout calls %d", t3row.ModelCalls, cout.ModelCalls)
+	}
+	if t3row.OptTime <= cout.OptTime {
+		t.Errorf("T3 opt time %v should exceed Cout %v", t3row.OptTime, cout.OptTime)
+	}
+
+	t6, err := e.RunTable6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + t6.Format())
+	for _, r := range t6.Rows {
+		if r.ExecTime <= 0 {
+			t.Errorf("%s: nonpositive execution time", r.CostModel)
+		}
+	}
+	// T3's plans should be in the same league as Cout's (paper: within a
+	// few percent; we allow 3x at tiny scale).
+	if t6.Rows[1].ExecTime > 3*t6.Rows[0].ExecTime {
+		t.Errorf("T3 plans %v much slower than Cout plans %v", t6.Rows[1].ExecTime, t6.Rows[0].ExecTime)
+	}
+}
+
+func TestFeatureAblation(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFeatureAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	if len(f.Rows) != 7 {
+		t.Fatalf("expected 7 variants, got %d", len(f.Rows))
+	}
+	full := f.Rows[0]
+	if full.Variant != "full feature set" {
+		t.Fatalf("first row is %q", full.Variant)
+	}
+	countsOnly := f.Rows[len(f.Rows)-1]
+	// The crippled counts-only model must be clearly worse than the full
+	// feature set.
+	if countsOnly.Summary.P50 <= full.Summary.P50 {
+		t.Errorf("counts-only p50 %.2f should exceed full p50 %.2f",
+			countsOnly.Summary.P50, full.Summary.P50)
+	}
+	for _, r := range f.Rows[1:] {
+		if r.Features >= full.Features {
+			t.Errorf("%s: %d features, expected fewer than %d", r.Variant, r.Features, full.Features)
+		}
+	}
+}
+
+func TestSchedulingExtension(t *testing.T) {
+	e := sharedEnv(t)
+	s, err := e.RunScheduling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s.Format())
+	if len(s.Rows) != 4 {
+		t.Fatalf("expected 4 predictors, got %d", len(s.Rows))
+	}
+	byName := map[string]SchedulingRow{}
+	for _, r := range s.Rows {
+		byName[r.Predictor] = r
+		if r.Result.Makespan <= 0 {
+			t.Errorf("%s: nonpositive makespan", r.Predictor)
+		}
+	}
+	// The oracle's placement is at least as good as no predictions, and T3
+	// should be close to the oracle.
+	oracle := byName["oracle"].Result
+	none := byName["none (round-robin)"].Result
+	if oracle.Makespan > none.Makespan {
+		t.Errorf("oracle makespan %v should not exceed round-robin %v", oracle.Makespan, none.Makespan)
+	}
+	t3r := byName["T3"].Result
+	if t3r.Makespan > 2*none.Makespan {
+		t.Errorf("T3 scheduling far worse than blind: %v vs %v", t3r.Makespan, none.Makespan)
+	}
+	// Prediction overhead: the NN must pay more than T3.
+	if byName["Zero Shot NN"].Result.DispatchOverhead <= t3r.DispatchOverhead {
+		t.Errorf("NN dispatch overhead should exceed T3's")
+	}
+}
+
+func TestFig1Scatter(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	if len(f.Points) != 4 {
+		t.Fatalf("expected 4 scatter points, got %d", len(f.Points))
+	}
+	for _, p := range f.Points {
+		if p.Latency <= 0 || p.P50 < 1 {
+			t.Errorf("%s: implausible point %+v", p.Model, p)
+		}
+	}
+}
+
+func TestFig5Scaling(t *testing.T) {
+	e := sharedEnv(t)
+	f, err := e.RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.Format())
+	n := len(f.Counts)
+	// Latency must grow with pipeline count, and compiled must stay in the
+	// same league as single-threaded interpretation at scale (the strict
+	// compiled < interpreted ordering is asserted by the allocation-free
+	// model-eval benchmarks; here timing shares a noisy single vCPU).
+	if f.CompiledST[n-1] <= f.CompiledST[0] {
+		t.Errorf("compiled latency did not grow with pipelines")
+	}
+	if float64(f.CompiledST[n-1]) > 1.3*float64(f.InterpST[n-1]) {
+		t.Errorf("compiled %v materially slower than interpreted %v at 1000 pipelines",
+			f.CompiledST[n-1], f.InterpST[n-1])
+	}
+	if !strings.Contains(f.Format(), "1000") {
+		t.Error("missing 1000-pipeline row")
+	}
+}

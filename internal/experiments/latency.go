@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"t3/internal/benchdata"
+	"t3/internal/engine/plan"
+	"t3/internal/qerror"
+	"t3/internal/stage"
+)
+
+// timeIt measures the median wall-clock time of f over reps repetitions.
+func timeIt(reps int, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		start := time.Now()
+		f()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// Table1 reproduces the prediction-latency comparison: Zero Shot (NN only),
+// Stage (cache/DT/NN hierarchy with a realized average), T3 interpreted, and
+// T3 compiled.
+type Table1 struct {
+	ZeroShotNN time.Duration
+	StageCache time.Duration
+	StageDT    time.Duration
+	StageNN    time.Duration
+	StageAvg   time.Duration
+	// T3Interp and T3Compiled measure the full prediction path
+	// (decomposition + featurization + model).
+	T3Interp   time.Duration
+	T3Compiled time.Duration
+	// T3ModelInterp and T3ModelCompiled isolate the model-evaluation step
+	// on pre-featurized vectors — the direct analogue of the paper's
+	// LightGBM-interpreted vs lleaves-compiled contrast (22us -> 4us).
+	T3ModelInterp   time.Duration
+	T3ModelCompiled time.Duration
+	AvgPipelines    float64
+}
+
+// RunTable1 measures single-query prediction latency for every model tier.
+func (e *Env) RunTable1() (*Table1, error) {
+	c, err := e.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.T3()
+	if err != nil {
+		return nil, err
+	}
+	nn, err := e.ZeroShot()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := e.PerQueryDT()
+	if err != nil {
+		return nil, err
+	}
+	test := c.AllTest()
+	if len(test) > 200 {
+		test = test[:200]
+	}
+	res := &Table1{}
+	var pipes int
+	for _, b := range test {
+		pipes += len(b.Pipelines)
+	}
+	res.AvgPipelines = float64(pipes) / float64(len(test))
+
+	const inner = 20
+	perQuery := func(f func(*benchdata.BenchedQuery)) time.Duration {
+		total := timeIt(5, func() {
+			for _, b := range test {
+				for i := 0; i < inner; i++ {
+					f(b)
+				}
+			}
+		})
+		return total / time.Duration(len(test)*inner)
+	}
+
+	res.T3Compiled = perQuery(func(b *benchdata.BenchedQuery) { m.PredictPlan(b.Query.Root, plan.TrueCards) })
+	res.T3Interp = perQuery(func(b *benchdata.BenchedQuery) { m.PredictInterpreted(b.Query.Root, plan.TrueCards) })
+
+	// Model-only latency per query on pre-featurized pipeline vectors.
+	var queryVecs [][][]float64
+	for _, b := range test {
+		vs, _ := m.Registry().PlanVectors(b.Query.Root, plan.TrueCards)
+		queryVecs = append(queryVecs, vs)
+	}
+	flat := m.Compiled()
+	gbm := m.Boosted()
+	res.T3ModelCompiled = timeIt(7, func() {
+		for _, vs := range queryVecs {
+			for i := 0; i < inner; i++ {
+				for _, v := range vs {
+					flat.Predict(v)
+				}
+			}
+		}
+	}) / time.Duration(len(test)*inner)
+	res.T3ModelInterp = timeIt(7, func() {
+		for _, vs := range queryVecs {
+			for i := 0; i < inner; i++ {
+				for _, v := range vs {
+					gbm.Predict(v)
+				}
+			}
+		}
+	}) / time.Duration(len(test)*inner)
+	res.ZeroShotNN = perQuery(func(b *benchdata.BenchedQuery) { nn.PredictSeconds(b.Query.Root, plan.TrueCards) })
+	res.StageDT = perQuery(func(b *benchdata.BenchedQuery) { dt.PredictSeconds(b.Query.Root, plan.TrueCards) })
+
+	// Stage: realized behaviour on a workload where half the submissions
+	// repeat already-seen plans (hitting the cache tier).
+	h := stage.New(dt, nn, 4)
+	for _, b := range test[:len(test)/2] {
+		h.Observe(b.Query.Root, plan.TrueCards, b.MedianTotal().Seconds())
+	}
+	res.StageCache = perQuery(func(b *benchdata.BenchedQuery) { stage.PlanHash(b.Query.Root, plan.TrueCards) })
+	res.StageAvg = perQuery(func(b *benchdata.BenchedQuery) { h.Predict(b.Query.Root, plan.TrueCards) })
+
+	// NN tier latency measured on the complex plans only.
+	var complexQ []*benchdata.BenchedQuery
+	for _, b := range test {
+		if len(b.Pipelines) > 4 {
+			complexQ = append(complexQ, b)
+		}
+	}
+	if len(complexQ) > 0 {
+		saved := test
+		test = complexQ
+		res.StageNN = perQuery(func(b *benchdata.BenchedQuery) { nn.PredictSeconds(b.Query.Root, plan.TrueCards) })
+		test = saved
+	} else {
+		res.StageNN = res.ZeroShotNN
+	}
+	return res, nil
+}
+
+// Format renders the paper's Table 1 layout.
+func (t *Table1) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: single-prediction latency (avg query ≈ %.1f pipelines)\n", t.AvgPipelines)
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "", "Cache", "DT", "NN", "Avg")
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "Zero Shot", "-", "-", fmtDur(t.ZeroShotNN), fmtDur(t.ZeroShotNN))
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "Stage", fmtDur(t.StageCache), fmtDur(t.StageDT), fmtDur(t.StageNN), fmtDur(t.StageAvg))
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "T3 interpreted", "-", fmtDur(t.T3Interp), "-", fmtDur(t.T3Interp))
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "T3 (ours)", "-", fmtDur(t.T3Compiled), "-", fmtDur(t.T3Compiled))
+	fmt.Fprintf(&sb, "model eval only: interpreted %s, compiled %s per query\n",
+		fmtDur(t.T3ModelInterp), fmtDur(t.T3ModelCompiled))
+	return sb.String()
+}
+
+// Table2 reproduces the throughput comparison (queries per second), single
+// predictions vs batched evaluation.
+type Table2 struct {
+	Rows []Table2Row
+}
+
+// Table2Row is one model's throughput.
+type Table2Row struct {
+	Model   string
+	Single  float64 // queries/s, one at a time
+	Batched float64 // queries/s, batch evaluation
+}
+
+// RunTable2 measures prediction throughput.
+func (e *Env) RunTable2() (*Table2, error) {
+	c, err := e.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.T3()
+	if err != nil {
+		return nil, err
+	}
+	nn, err := e.ZeroShot()
+	if err != nil {
+		return nil, err
+	}
+	test := c.AllTest()
+	if len(test) > 300 {
+		test = test[:300]
+	}
+
+	// Pre-featurize for batch evaluation: all pipeline vectors with query
+	// boundaries.
+	var vecs [][]float64
+	var bounds []int
+	var cards []float64
+	for _, b := range test {
+		vs, ps := m.Registry().PlanVectors(b.Query.Root, plan.TrueCards)
+		vecs = append(vecs, vs...)
+		for _, p := range ps {
+			cards = append(cards, p.SourceCard(plan.TrueCards))
+		}
+		bounds = append(bounds, len(vecs))
+	}
+
+	qps := func(d time.Duration, n int) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(n) / d.Seconds()
+	}
+	t2 := &Table2{}
+
+	// T3 compiled.
+	single := timeIt(5, func() {
+		for _, b := range test {
+			m.PredictPlan(b.Query.Root, plan.TrueCards)
+		}
+	})
+	batched := timeIt(5, func() {
+		outs := m.Compiled().PredictBatch(vecs)
+		lo := 0
+		var sum float64
+		for _, hi := range bounds {
+			for i := lo; i < hi; i++ {
+				sum += benchdata.InverseTarget(outs[i]) * cards[i]
+			}
+			lo = hi
+		}
+		_ = sum
+	})
+	t2.Rows = append(t2.Rows, Table2Row{"T3 (compiled)", qps(single, len(test)), qps(batched, len(test))})
+
+	// T3 interpreted.
+	singleI := timeIt(3, func() {
+		for _, b := range test {
+			m.PredictInterpreted(b.Query.Root, plan.TrueCards)
+		}
+	})
+	batchedI := timeIt(3, func() {
+		gbm := m.Boosted()
+		lo := 0
+		var sum float64
+		for _, hi := range bounds {
+			for i := lo; i < hi; i++ {
+				sum += benchdata.InverseTarget(gbm.Predict(vecs[i])) * cards[i]
+			}
+			lo = hi
+		}
+		_ = sum
+	})
+	t2.Rows = append(t2.Rows, Table2Row{"T3 interpreted", qps(singleI, len(test)), qps(batchedI, len(test))})
+
+	// Zero-shot NN (no vectorized batching in this pure-Go substrate; the
+	// paper's 1000x batching gain comes from GPU/BLAS batching, see
+	// EXPERIMENTS.md).
+	singleN := timeIt(3, func() {
+		for _, b := range test {
+			nn.PredictSeconds(b.Query.Root, plan.TrueCards)
+		}
+	})
+	t2.Rows = append(t2.Rows, Table2Row{"Zero Shot NN", qps(singleN, len(test)), qps(singleN, len(test))})
+	return t2, nil
+}
+
+// Format renders Table 2.
+func (t *Table2) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: throughput in queries per second\n")
+	fmt.Fprintf(&sb, "%-16s %14s %14s\n", "Model", "Single", "Batched")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-16s %14.0f %14.0f\n", r.Model, r.Single, r.Batched)
+	}
+	return sb.String()
+}
+
+// Fig1 reproduces the latency/accuracy scatter of Figure 1.
+type Fig1 struct {
+	Points []Fig1Point
+}
+
+// Fig1Point is one model in the scatter.
+type Fig1Point struct {
+	Model   string
+	Latency time.Duration
+	P50     float64
+	Avg     float64
+}
+
+// RunFig1 evaluates latency and accuracy for every model on the TPC-DS test
+// set.
+func (e *Env) RunFig1() (*Fig1, error) {
+	c, err := e.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	t1, err := e.RunTable1()
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.T3()
+	if err != nil {
+		return nil, err
+	}
+	nn, err := e.ZeroShot()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := e.PerQueryDT()
+	if err != nil {
+		return nil, err
+	}
+	test := c.AllTest()
+
+	f := &Fig1{}
+	add := func(name string, lat time.Duration, es []float64) {
+		s := qerror.Summarize(es)
+		f.Points = append(f.Points, Fig1Point{Model: name, Latency: lat, P50: s.P50, Avg: s.Avg})
+	}
+	add("T3 (compiled)", t1.T3Compiled, qerrors(t3Predict(m, plan.TrueCards), test))
+	add("T3 interpreted", t1.T3Interp, qerrors(t3Predict(m, plan.TrueCards), test))
+	add("AutoWLM-style DT", t1.StageDT, qerrors(func(b *benchdata.BenchedQuery) float64 {
+		return dt.PredictSeconds(b.Query.Root, plan.TrueCards)
+	}, test))
+	add("Zero Shot NN", t1.ZeroShotNN, qerrors(func(b *benchdata.BenchedQuery) float64 {
+		return nn.PredictSeconds(b.Query.Root, plan.TrueCards)
+	}, test))
+	return f, nil
+}
+
+// Format renders Figure 1 as a table of scatter points.
+func (f *Fig1) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1: latency vs accuracy (TPC-DS test queries)\n")
+	fmt.Fprintf(&sb, "%-18s %12s %8s %8s\n", "Model", "Latency", "p50", "avg")
+	for _, p := range f.Points {
+		fmt.Fprintf(&sb, "%-18s %12s %8.2f %8.2f\n", p.Model, fmtDur(p.Latency), p.P50, p.Avg)
+	}
+	return sb.String()
+}
+
+// Fig5 reproduces prediction latency by pipeline count: compiled
+// single-threaded vs interpreted single- and multi-threaded.
+type Fig5 struct {
+	Counts     []int
+	CompiledST []time.Duration
+	InterpST   []time.Duration
+	InterpMT   []time.Duration
+	Workers    int
+}
+
+// RunFig5 measures batch prediction latency for growing pipeline counts,
+// sampling random pipelines from the test workload (as the paper does:
+// "many random pipelines perform equivalently to a large query").
+func (e *Env) RunFig5() (*Fig5, error) {
+	c, err := e.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.T3()
+	if err != nil {
+		return nil, err
+	}
+	// Pool of real pipeline vectors.
+	var pool [][]float64
+	for _, b := range c.AllTest() {
+		vs, _ := m.Registry().PlanVectors(b.Query.Root, plan.TrueCards)
+		pool = append(pool, vs...)
+		if len(pool) > 5000 {
+			break
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	f := &Fig5{Counts: []int{1, 2, 3, 5, 10, 30, 100, 300, 1000}, Workers: runtime.GOMAXPROCS(0)}
+	flat := m.Compiled()
+	gbm := m.Boosted()
+	for _, k := range f.Counts {
+		vs := make([][]float64, k)
+		for i := range vs {
+			vs[i] = pool[rng.Intn(len(pool))]
+		}
+		f.CompiledST = append(f.CompiledST, timeIt(9, func() {
+			for _, v := range vs {
+				flat.Predict(v)
+			}
+		}))
+		f.InterpST = append(f.InterpST, timeIt(9, func() {
+			for _, v := range vs {
+				gbm.Predict(v)
+			}
+		}))
+		f.InterpMT = append(f.InterpMT, timeIt(9, func() {
+			parallelInterp(gbm.Predict, vs, f.Workers)
+		}))
+	}
+	return f, nil
+}
+
+// parallelInterp evaluates vectors across workers with the interpreted
+// model.
+func parallelInterp(predict func([]float64) float64, vs [][]float64, workers int) {
+	if workers > len(vs) {
+		workers = len(vs)
+	}
+	if workers <= 1 {
+		for _, v := range vs {
+			predict(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(vs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(vs) {
+			hi = len(vs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				predict(vs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Format renders Figure 5 as a latency table by pipeline count.
+func (f *Fig5) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: prediction latency by number of pipelines (MT = %d workers)\n", f.Workers)
+	fmt.Fprintf(&sb, "%10s %14s %14s %14s\n", "pipelines", "compiled ST", "interp ST", "interp MT")
+	for i, k := range f.Counts {
+		fmt.Fprintf(&sb, "%10d %14s %14s %14s\n", k, fmtDur(f.CompiledST[i]), fmtDur(f.InterpST[i]), fmtDur(f.InterpMT[i]))
+	}
+	return sb.String()
+}

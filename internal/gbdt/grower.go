@@ -1,0 +1,271 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+)
+
+// leafCand is a tree leaf that may still be split.
+type leafCand struct {
+	lo, hi     int // row range in the grower's index partition
+	sumG, sumH float64
+	parent     int32 // index of the parent internal node, -1 for the root
+	isLeft     bool
+
+	bestGain float64
+	bestFeat int
+	bestBin  uint8
+	bestLG   float64 // left-side gradient sums of the best split
+	bestLH   float64
+	bestLC   int
+}
+
+// grower grows one tree per boosting round, reusing its buffers.
+type grower struct {
+	td  *trainData
+	bnr *binner
+	p   Params
+	rng *rand.Rand
+
+	idx  []int32 // row partition
+	tmp  []int32 // partition scratch
+	feat []int   // features considered for the current tree
+
+	histG [][]float64
+	histH [][]float64
+	histC [][]int32
+
+	// nodeBins mirrors tree.Nodes with the split bin, letting training
+	// predict on binned rows without keeping raw feature values.
+	nodeBins []uint8
+}
+
+func newGrower(td *trainData, bnr *binner, p Params, rng *rand.Rand) *grower {
+	g := &grower{td: td, bnr: bnr, p: p, rng: rng}
+	g.idx = make([]int32, td.n)
+	g.tmp = make([]int32, td.n)
+	g.histG = make([][]float64, td.f)
+	g.histH = make([][]float64, td.f)
+	g.histC = make([][]int32, td.f)
+	for f := 0; f < td.f; f++ {
+		nb := bnr.numBins(f)
+		g.histG[f] = make([]float64, nb)
+		g.histH[f] = make([]float64, nb)
+		g.histC[f] = make([]int32, nb)
+	}
+	return g
+}
+
+// grow fits one tree to the gradient pair (grad, hess).
+func (gr *grower) grow(grad, hess []float64) *Tree {
+	p := gr.p
+	td := gr.td
+
+	// Row bagging.
+	n := td.n
+	if p.BaggingFraction < 1 {
+		n = int(float64(td.n) * p.BaggingFraction)
+		if n < 1 {
+			n = 1
+		}
+		perm := gr.rng.Perm(td.n)
+		for i := 0; i < n; i++ {
+			gr.idx[i] = int32(perm[i])
+		}
+	} else {
+		for i := 0; i < td.n; i++ {
+			gr.idx[i] = int32(i)
+		}
+	}
+
+	// Feature sampling.
+	gr.feat = gr.feat[:0]
+	if p.FeatureFraction < 1 {
+		k := int(float64(td.f) * p.FeatureFraction)
+		if k < 1 {
+			k = 1
+		}
+		perm := gr.rng.Perm(td.f)
+		for _, f := range perm[:k] {
+			gr.feat = append(gr.feat, f)
+		}
+	} else {
+		for f := 0; f < td.f; f++ {
+			gr.feat = append(gr.feat, f)
+		}
+	}
+
+	tree := &Tree{}
+	gr.nodeBins = gr.nodeBins[:0]
+
+	root := &leafCand{lo: 0, hi: n, parent: -1}
+	for i := 0; i < n; i++ {
+		r := gr.idx[i]
+		root.sumG += grad[r]
+		root.sumH += hess[r]
+	}
+	gr.findBestSplit(root, grad, hess)
+
+	cands := []*leafCand{root}
+	for len(cands) < p.NumLeaves {
+		// Pick the candidate with the highest gain (leaf-wise growth).
+		best := -1
+		for i, c := range cands {
+			if c.bestGain > 0 && (best < 0 || c.bestGain > cands[best].bestGain) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := cands[best]
+
+		// Materialize the internal node.
+		nodeIdx := int32(len(tree.Nodes))
+		tree.Nodes = append(tree.Nodes, Node{
+			Feature:   int32(c.bestFeat),
+			Threshold: gr.bnr.threshold(c.bestFeat, c.bestBin),
+		})
+		gr.nodeBins = append(gr.nodeBins, c.bestBin)
+		gr.patchParent(tree, c, nodeIdx)
+
+		// Partition rows: bin <= bestBin goes left (stable).
+		mid := gr.partition(c.lo, c.hi, c.bestFeat, c.bestBin)
+
+		left := &leafCand{lo: c.lo, hi: mid, sumG: c.bestLG, sumH: c.bestLH, parent: nodeIdx, isLeft: true}
+		right := &leafCand{lo: mid, hi: c.hi, sumG: c.sumG - c.bestLG, sumH: c.sumH - c.bestLH, parent: nodeIdx}
+		gr.findBestSplit(left, grad, hess)
+		gr.findBestSplit(right, grad, hess)
+
+		cands[best] = left
+		cands = append(cands, right)
+	}
+
+	// Remaining candidates become leaves.
+	for _, c := range cands {
+		leafIdx := int32(len(tree.Leaves))
+		w := -c.sumG / (c.sumH + gr.p.Lambda) * gr.p.LearningRate
+		tree.Leaves = append(tree.Leaves, w)
+		if c.parent < 0 {
+			// Single-leaf tree.
+			continue
+		}
+		ref := int32(^leafIdx)
+		if c.isLeft {
+			tree.Nodes[c.parent].Left = ref
+		} else {
+			tree.Nodes[c.parent].Right = ref
+		}
+	}
+	return tree
+}
+
+// patchParent wires the freshly created internal node into its parent.
+func (gr *grower) patchParent(tree *Tree, c *leafCand, nodeIdx int32) {
+	if c.parent < 0 {
+		return
+	}
+	if c.isLeft {
+		tree.Nodes[c.parent].Left = nodeIdx
+	} else {
+		tree.Nodes[c.parent].Right = nodeIdx
+	}
+}
+
+// partition stably reorders idx[lo:hi] so rows with bin ≤ b come first and
+// returns the boundary.
+func (gr *grower) partition(lo, hi, f int, b uint8) int {
+	bins := gr.td.bins[f]
+	w := lo
+	t := 0
+	for i := lo; i < hi; i++ {
+		r := gr.idx[i]
+		if bins[r] <= b {
+			gr.idx[w] = r
+			w++
+		} else {
+			gr.tmp[t] = r
+			t++
+		}
+	}
+	copy(gr.idx[w:hi], gr.tmp[:t])
+	return w
+}
+
+// findBestSplit fills the candidate's best split fields by scanning feature
+// histograms.
+func (gr *grower) findBestSplit(c *leafCand, grad, hess []float64) {
+	c.bestGain = 0
+	count := c.hi - c.lo
+	if count < 2*gr.p.MinDataInLeaf {
+		return
+	}
+	lambda := gr.p.Lambda
+	parentScore := c.sumG * c.sumG / (c.sumH + lambda)
+
+	for _, f := range gr.feat {
+		bins := gr.td.bins[f]
+		nb := gr.bnr.numBins(f)
+		if nb < 2 {
+			continue
+		}
+		hg, hh, hc := gr.histG[f], gr.histH[f], gr.histC[f]
+		for b := 0; b < nb; b++ {
+			hg[b], hh[b], hc[b] = 0, 0, 0
+		}
+		for i := c.lo; i < c.hi; i++ {
+			r := gr.idx[i]
+			b := bins[r]
+			hg[b] += grad[r]
+			hh[b] += hess[r]
+			hc[b]++
+		}
+		var lg, lh float64
+		var lc int
+		// Split on "bin ≤ b" for b in [0, nb-2].
+		for b := 0; b < nb-1; b++ {
+			lg += hg[b]
+			lh += hh[b]
+			lc += int(hc[b])
+			if lc < gr.p.MinDataInLeaf {
+				continue
+			}
+			rc := count - lc
+			if rc < gr.p.MinDataInLeaf {
+				break
+			}
+			rg := c.sumG - lg
+			rh := c.sumH - lh
+			gain := lg*lg/(lh+lambda) + rg*rg/(rh+lambda) - parentScore
+			if gain > c.bestGain {
+				c.bestGain = gain
+				c.bestFeat = f
+				c.bestBin = uint8(b)
+				c.bestLG, c.bestLH, c.bestLC = lg, lh, lc
+			}
+		}
+	}
+	if c.bestGain > 0 && math.IsNaN(c.bestGain) {
+		c.bestGain = 0
+	}
+}
+
+// predictBinned evaluates the freshly grown tree for training row r using
+// binned features (valid until the next grow call).
+func (gr *grower) predictBinned(tree *Tree, r int) float64 {
+	if len(tree.Nodes) == 0 {
+		return tree.Leaves[0]
+	}
+	i := int32(0)
+	for {
+		n := &tree.Nodes[i]
+		if gr.td.bins[n.Feature][r] <= gr.nodeBins[i] {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+		if i < 0 {
+			return tree.Leaves[^i]
+		}
+	}
+}

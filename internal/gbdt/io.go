@@ -1,0 +1,77 @@
+package gbdt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MarshalJSON-based persistence: models serialize to a self-contained JSON
+// document (thresholds are real values, so no binner state is needed for
+// prediction).
+
+// Save writes the model as JSON to path.
+func (m *Model) Save(path string) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("gbdt: marshal model: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("gbdt: write model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model saved by Save.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gbdt: read model: %w", err)
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("gbdt: parse model %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("gbdt: invalid model %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Validate checks structural integrity of the model: child references in
+// range, every leaf reachable, features within bounds.
+func (m *Model) Validate() error {
+	if m.NumFeatures <= 0 {
+		return fmt.Errorf("NumFeatures = %d", m.NumFeatures)
+	}
+	for ti := range m.Trees {
+		t := &m.Trees[ti]
+		if len(t.Nodes) == 0 {
+			if len(t.Leaves) != 1 {
+				return fmt.Errorf("tree %d: no nodes but %d leaves", ti, len(t.Leaves))
+			}
+			continue
+		}
+		if len(t.Leaves) != len(t.Nodes)+1 {
+			return fmt.Errorf("tree %d: %d nodes with %d leaves, want %d", ti, len(t.Nodes), len(t.Leaves), len(t.Nodes)+1)
+		}
+		for ni, n := range t.Nodes {
+			if n.Feature < 0 || int(n.Feature) >= m.NumFeatures {
+				return fmt.Errorf("tree %d node %d: feature %d out of range", ti, ni, n.Feature)
+			}
+			for _, c := range [2]int32{n.Left, n.Right} {
+				if c >= 0 {
+					if int(c) >= len(t.Nodes) {
+						return fmt.Errorf("tree %d node %d: child %d out of range", ti, ni, c)
+					}
+					if c <= int32(ni) {
+						return fmt.Errorf("tree %d node %d: non-forward child %d", ti, ni, c)
+					}
+				} else if int(^c) >= len(t.Leaves) {
+					return fmt.Errorf("tree %d node %d: leaf %d out of range", ti, ni, ^c)
+				}
+			}
+		}
+	}
+	return nil
+}

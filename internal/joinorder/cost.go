@@ -1,0 +1,235 @@
+package joinorder
+
+import (
+	"math"
+
+	"t3/internal/benchdata"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/stats"
+	"t3/internal/feature"
+	"t3/internal/treec"
+	"t3/internal/workload"
+)
+
+// CoutModel is the Cout cost function of Cluet & Moerkotte (Eq. 3 of the
+// paper): 0 for leaves, |T| + Cout(T1) + Cout(T2) for joins. Computable with
+// three additions per DP step.
+type CoutModel struct {
+	oracle Oracle
+	calls  int
+}
+
+// NewCout builds the Cout model over an oracle.
+func NewCout(oracle Oracle) *CoutModel { return &CoutModel{oracle: oracle} }
+
+// Name identifies the model.
+func (c *CoutModel) Name() string { return "Cout" }
+
+// Leaf costs nothing.
+func (c *CoutModel) Leaf(rel int) State { return float64(0) }
+
+// Join adds the new intermediate's cardinality.
+func (c *CoutModel) Join(build, probe State, buildSet, probeSet uint64) State {
+	c.calls++
+	return build.(float64) + probe.(float64) + c.oracle.Card(buildSet|probeSet)
+}
+
+// Total returns the accumulated cost.
+func (c *CoutModel) Total(s State) float64 { return s.(float64) }
+
+// Calls reports model invocations.
+func (c *CoutModel) Calls() int { return c.calls }
+
+// t3State is the per-subtree memo of the T3 cost model: the total predicted
+// time of all closed pipelines plus the feature vector of the still-open
+// pipeline (§5.5: "we cache the cost for all other pipelines that already
+// finished in the subtrees").
+type t3State struct {
+	closedSeconds float64
+	openVec       []float64 // feature vector of the open pipeline so far
+	openSrcCard   float64   // scan cardinality driving the open pipeline
+	card          float64   // output cardinality of the subtree
+	width         float64   // approximate tuple width of the subtree output
+}
+
+// T3CostModel prices join trees with a trained T3 model. Every DP step
+// makes exactly two model calls: one for the build side's now-closed
+// pipeline, one for the probe side's extended open pipeline.
+type T3CostModel struct {
+	flat   *treec.Flat
+	reg    *feature.Registry
+	oracle Oracle
+	spec   *workload.JoinSpec
+	rels   *specEstimates
+	calls  int
+
+	// cached registry locations
+	locScanCount, locScanCard, locScanOutPct                      int
+	locBuildCount, locBuildCard, locBuildSize, locBuildPct        int
+	locProbeCount, locProbeHT, locProbeRight, locProbeOut, locPOS int
+}
+
+// NewT3Cost builds the T3 cost model. flat is the compiled model and reg its
+// registry; the oracle supplies subset cardinalities.
+func NewT3Cost(flat *treec.Flat, reg *feature.Registry, inst *workload.Instance, spec *workload.JoinSpec, oracle Oracle) *T3CostModel {
+	m := &T3CostModel{flat: flat, reg: reg, oracle: oracle, spec: spec}
+	m.rels = newSpecEstimator(inst, spec)
+
+	scan := feature.StageKey{Op: plan.TableScanOp, Stage: plan.StageScan}
+	build := feature.StageKey{Op: plan.HashJoinOp, Stage: plan.StageBuild}
+	probe := feature.StageKey{Op: plan.HashJoinOp, Stage: plan.StageProbe}
+	m.locScanCount = reg.Location(scan, feature.FCount)
+	m.locScanCard = reg.Location(scan, feature.FInCard)
+	m.locScanOutPct = reg.Location(scan, feature.FOutPct)
+	m.locBuildCount = reg.Location(build, feature.FCount)
+	m.locBuildCard = reg.Location(build, feature.FInCard)
+	m.locBuildSize = reg.Location(build, feature.FInSize)
+	m.locBuildPct = reg.Location(build, feature.FInPct)
+	m.locProbeCount = reg.Location(probe, feature.FCount)
+	m.locProbeHT = reg.Location(probe, feature.FHTCard)
+	m.locProbeRight = reg.Location(probe, feature.FRightPct)
+	m.locProbeOut = reg.Location(probe, feature.FOutPct)
+	m.locPOS = reg.Location(probe, feature.FOutSize)
+	return m
+}
+
+// Name identifies the model.
+func (m *T3CostModel) Name() string { return "T3" }
+
+// predict evaluates the compiled model for one pipeline vector and scales to
+// seconds.
+func (m *T3CostModel) predict(vec []float64, srcCard float64) float64 {
+	m.calls++
+	perTuple := benchdata.InverseTarget(m.flat.Predict(vec))
+	if srcCard < 1 {
+		srcCard = 1
+	}
+	return perTuple * srcCard
+}
+
+// Leaf starts an open pipeline with the relation's scan stage.
+func (m *T3CostModel) Leaf(rel int) State {
+	vec := make([]float64, m.reg.NumFeatures())
+	tableCard := m.rels.tableCards[rel]
+	relCard := m.rels.relCards[rel]
+	if m.locScanCount >= 0 {
+		vec[m.locScanCount] = 1
+	}
+	if m.locScanCard >= 0 {
+		vec[m.locScanCard] = tableCard
+	}
+	if m.locScanOutPct >= 0 && tableCard > 0 {
+		vec[m.locScanOutPct] = relCard / tableCard
+	}
+	for name, frac := range m.rels.exprPcts[rel] {
+		if i := m.reg.Location(feature.StageKey{Op: plan.TableScanOp, Stage: plan.StageScan}, name); i >= 0 {
+			vec[i] = frac
+		}
+	}
+	return &t3State{
+		openVec:     vec,
+		openSrcCard: tableCard,
+		card:        relCard,
+		width:       m.rels.widths[rel],
+	}
+}
+
+// Join closes the build side's pipeline with a build stage (one model call)
+// and extends the probe side's open pipeline with a probe stage (the second
+// model call happens when comparing totals).
+func (m *T3CostModel) Join(build, probe State, buildSet, probeSet uint64) State {
+	b := build.(*t3State)
+	p := probe.(*t3State)
+
+	// Close the build pipeline: append the hash-join build stage.
+	bvec := append([]float64(nil), b.openVec...)
+	if m.locBuildCount >= 0 {
+		bvec[m.locBuildCount]++
+	}
+	if m.locBuildCard >= 0 {
+		bvec[m.locBuildCard] += b.card
+	}
+	if m.locBuildSize >= 0 {
+		bvec[m.locBuildSize] += b.width
+	}
+	if m.locBuildPct >= 0 && b.openSrcCard > 0 {
+		bvec[m.locBuildPct] += b.card / b.openSrcCard
+	}
+	closed := b.closedSeconds + p.closedSeconds + m.predict(bvec, b.openSrcCard)
+
+	// Extend the probe pipeline.
+	outCard := m.oracle.Card(buildSet | probeSet)
+	pvec := append([]float64(nil), p.openVec...)
+	if m.locProbeCount >= 0 {
+		pvec[m.locProbeCount]++
+	}
+	if m.locProbeHT >= 0 {
+		pvec[m.locProbeHT] += b.card
+	}
+	if m.locProbeRight >= 0 && p.openSrcCard > 0 {
+		pvec[m.locProbeRight] += p.card / p.openSrcCard
+	}
+	if m.locProbeOut >= 0 && p.openSrcCard > 0 {
+		pvec[m.locProbeOut] += outCard / p.openSrcCard
+	}
+	if m.locPOS >= 0 {
+		pvec[m.locPOS] += p.width + b.width
+	}
+	return &t3State{
+		closedSeconds: closed,
+		openVec:       pvec,
+		openSrcCard:   p.openSrcCard,
+		card:          outCard,
+		width:         p.width + b.width,
+	}
+}
+
+// Total prices the state: closed pipelines plus the current open pipeline
+// (the second model call per DP step).
+func (m *T3CostModel) Total(s State) float64 {
+	st := s.(*t3State)
+	return st.closedSeconds + m.predict(st.openVec, st.openSrcCard)
+}
+
+// Calls reports model invocations.
+func (m *T3CostModel) Calls() int { return m.calls }
+
+// specEstimates precomputes per-relation data shared by oracles and the T3
+// cost model.
+type specEstimates struct {
+	tableCards []float64
+	relCards   []float64 // after pushed predicates (estimated)
+	widths     []float64
+	exprPcts   []map[string]float64
+	edgeSels   []float64
+}
+
+// newSpecEstimator derives relation-level estimates from instance
+// statistics.
+func newSpecEstimator(inst *workload.Instance, spec *workload.JoinSpec) *specEstimates {
+	est := &stats.Estimator{DB: inst.Stats}
+	se := &specEstimates{}
+	for _, rel := range spec.Rels {
+		scan := rel.Scan(inst)
+		est.Estimate(scan)
+		se.tableCards = append(se.tableCards, scan.ScanCard)
+		se.relCards = append(se.relCards, scan.OutCard.Est)
+		se.widths = append(se.widths, float64(scan.OutWidth()))
+		pcts := make(map[string]float64)
+		reach := 1.0
+		for i, pred := range scan.Predicates {
+			name := feature.FExprPrefix + pred.Class().String() + "_percentage"
+			pcts[name] += reach
+			reach *= scan.PredSel[i].Est
+		}
+		se.exprPcts = append(se.exprPcts, pcts)
+	}
+	for _, e := range spec.Edges {
+		ta := inst.Table(spec.Rels[e.A].Table)
+		tb := inst.Table(spec.Rels[e.B].Table)
+		da := float64(inst.Stats.Tables[ta.Name].Cols[spec.Rels[e.A].ScanCols[e.ACol]].Distinct)
+		db := float64(inst.Stats.Tables[tb.Name].Cols[spec.Rels[e.B].ScanCols[e.BCol]].Distinct)
+		se.edgeSels = append(se.edgeSels, 1/math.Max(math.Max(da, db), 1))
+	}
+	return se
+}

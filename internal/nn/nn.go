@@ -1,0 +1,254 @@
+// Package nn is a minimal dense neural-network substrate: linear layers,
+// ReLU, and the Adam optimizer, with hand-written backpropagation. It exists
+// to implement the Zero Shot plan-structured baseline (Hilprecht & Binnig)
+// that the paper compares against in Figures 1, 10, and 12 — a model family
+// that is accurate but orders of magnitude slower to evaluate than T3's
+// compiled trees.
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Linear is a fully connected layer y = W·x + b.
+type Linear struct {
+	In, Out int
+	W       []float64 // Out × In, row-major
+	B       []float64
+
+	// gradient accumulators
+	dW []float64
+	dB []float64
+
+	// Adam state
+	mW, vW []float64
+	mB, vB []float64
+}
+
+// NewLinear initializes a layer with He-scaled random weights.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{In: in, Out: out}
+	l.W = make([]float64, in*out)
+	l.B = make([]float64, out)
+	scale := math.Sqrt(2.0 / float64(in))
+	for i := range l.W {
+		l.W[i] = rng.NormFloat64() * scale
+	}
+	l.dW = make([]float64, in*out)
+	l.dB = make([]float64, out)
+	l.mW = make([]float64, in*out)
+	l.vW = make([]float64, in*out)
+	l.mB = make([]float64, out)
+	l.vB = make([]float64, out)
+	return l
+}
+
+// Forward computes the layer output for input x.
+func (l *Linear) Forward(x, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, l.Out)
+	}
+	for o := 0; o < l.Out; o++ {
+		s := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Backward accumulates gradients given the input x and the output gradient
+// dy, and returns the input gradient dx.
+func (l *Linear) Backward(x, dy, dx []float64) []float64 {
+	if dx == nil {
+		dx = make([]float64, l.In)
+	} else {
+		for i := range dx {
+			dx[i] = 0
+		}
+	}
+	for o := 0; o < l.Out; o++ {
+		g := dy[o]
+		l.dB[o] += g
+		row := l.W[o*l.In : (o+1)*l.In]
+		drow := l.dW[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			drow[i] += g * xi
+			dx[i] += row[i] * g
+		}
+	}
+	return dx
+}
+
+// Adam applies one Adam update with the accumulated gradients and clears
+// them. step is the 1-based global step for bias correction.
+func (l *Linear) Adam(lr float64, step int) {
+	const (
+		b1  = 0.9
+		b2  = 0.999
+		eps = 1e-8
+	)
+	c1 := 1 - math.Pow(b1, float64(step))
+	c2 := 1 - math.Pow(b2, float64(step))
+	for i, g := range l.dW {
+		l.mW[i] = b1*l.mW[i] + (1-b1)*g
+		l.vW[i] = b2*l.vW[i] + (1-b2)*g*g
+		l.W[i] -= lr * (l.mW[i] / c1) / (math.Sqrt(l.vW[i]/c2) + eps)
+		l.dW[i] = 0
+	}
+	for i, g := range l.dB {
+		l.mB[i] = b1*l.mB[i] + (1-b1)*g
+		l.vB[i] = b2*l.vB[i] + (1-b2)*g*g
+		l.B[i] -= lr * (l.mB[i] / c1) / (math.Sqrt(l.vB[i]/c2) + eps)
+		l.dB[i] = 0
+	}
+}
+
+// ReLU applies max(0, x) in place and returns x.
+func ReLU(x []float64) []float64 {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	return x
+}
+
+// ReLUGrad zeroes the gradient where the forward activation was clipped.
+func ReLUGrad(activated, dy []float64) []float64 {
+	for i := range dy {
+		if activated[i] <= 0 {
+			dy[i] = 0
+		}
+	}
+	return dy
+}
+
+// MLP is a stack of linear layers with ReLU between them (none after the
+// final layer).
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. (rng, 16, 32, 1).
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least two sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(rng, sizes[i], sizes[i+1]))
+	}
+	return m
+}
+
+// Trace stores the intermediate activations of one forward pass, enabling
+// backprop through arbitrary composition (e.g. recursive plan encoders).
+type Trace struct {
+	// Acts[0] is the input; Acts[i] is the post-activation output of layer
+	// i-1.
+	Acts [][]float64
+}
+
+// Forward runs the MLP, recording activations into a fresh trace.
+func (m *MLP) Forward(x []float64) (*Trace, []float64) {
+	tr := &Trace{Acts: make([][]float64, 0, len(m.Layers)+1)}
+	cur := x
+	tr.Acts = append(tr.Acts, cur)
+	for i, l := range m.Layers {
+		out := l.Forward(cur, nil)
+		if i+1 < len(m.Layers) {
+			ReLU(out)
+		}
+		tr.Acts = append(tr.Acts, out)
+		cur = out
+	}
+	return tr, cur
+}
+
+// Infer runs the MLP without recording a trace (prediction path).
+func (m *MLP) Infer(x []float64) []float64 {
+	cur := x
+	for i, l := range m.Layers {
+		out := l.Forward(cur, nil)
+		if i+1 < len(m.Layers) {
+			ReLU(out)
+		}
+		cur = out
+	}
+	return cur
+}
+
+// Backward backpropagates dy through the trace, accumulating parameter
+// gradients, and returns the gradient w.r.t. the input.
+func (m *MLP) Backward(tr *Trace, dy []float64) []float64 {
+	grad := append([]float64(nil), dy...)
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		if i+1 < len(m.Layers) {
+			ReLUGrad(tr.Acts[i+1], grad)
+		}
+		grad = m.Layers[i].Backward(tr.Acts[i], grad, nil)
+	}
+	return grad
+}
+
+// Adam updates all layers.
+func (m *MLP) Adam(lr float64, step int) {
+	for _, l := range m.Layers {
+		l.Adam(lr, step)
+	}
+}
+
+// NumParams returns the number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}
+
+// persistedLinear is the serialization form of a layer.
+type persistedLinear struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+}
+
+// MarshalJSON serializes the MLP weights.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	ls := make([]persistedLinear, len(m.Layers))
+	for i, l := range m.Layers {
+		ls[i] = persistedLinear{In: l.In, Out: l.Out, W: l.W, B: l.B}
+	}
+	return json.Marshal(ls)
+}
+
+// UnmarshalJSON restores the MLP weights.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var ls []persistedLinear
+	if err := json.Unmarshal(data, &ls); err != nil {
+		return err
+	}
+	m.Layers = nil
+	for _, p := range ls {
+		if len(p.W) != p.In*p.Out || len(p.B) != p.Out {
+			return fmt.Errorf("nn: corrupt layer %dx%d", p.In, p.Out)
+		}
+		l := &Linear{In: p.In, Out: p.Out, W: p.W, B: p.B}
+		l.dW = make([]float64, len(p.W))
+		l.dB = make([]float64, len(p.B))
+		l.mW = make([]float64, len(p.W))
+		l.vW = make([]float64, len(p.W))
+		l.mB = make([]float64, len(p.B))
+		l.vB = make([]float64, len(p.B))
+		m.Layers = append(m.Layers, l)
+	}
+	return nil
+}

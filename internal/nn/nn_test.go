@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearForwardBackwardGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 4, 3)
+	x := []float64{0.5, -1, 2, 0.1}
+	dy := []float64{1, -0.5, 0.25}
+
+	dx := l.Backward(x, dy, nil)
+
+	// Numeric gradient check on the input.
+	const h = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		op := l.Forward(xp, nil)
+		om := l.Forward(xm, nil)
+		num := 0.0
+		for o := range dy {
+			num += dy[o] * (op[o] - om[o]) / (2 * h)
+		}
+		if math.Abs(num-dx[i]) > 1e-6 {
+			t.Errorf("dx[%d] = %v, numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+func TestMLPGradcheckThroughReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 3, 5, 1)
+	x := []float64{0.3, -0.7, 1.2}
+
+	tr, out := m.Forward(x)
+	dx := m.Backward(tr, []float64{1})
+	_ = out
+
+	const h = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		op := m.Infer(xp)[0]
+		om := m.Infer(xm)[0]
+		num := (op - om) / (2 * h)
+		if math.Abs(num-dx[i]) > 1e-5 {
+			t.Errorf("dx[%d] = %v, numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+func TestMLPFitsXORish(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, 2, 16, 1)
+	data := [][2]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	target := []float64{0, 1, 1, 0}
+	step := 0
+	for epoch := 0; epoch < 3000; epoch++ {
+		for i, d := range data {
+			tr, out := m.Forward(d[:])
+			diff := out[0] - target[i]
+			m.Backward(tr, []float64{diff})
+		}
+		step++
+		m.Adam(0.01, step)
+	}
+	for i, d := range data {
+		got := m.Infer(d[:])[0]
+		if math.Abs(got-target[i]) > 0.1 {
+			t.Errorf("xor(%v) = %v, want %v", d, got, target[i])
+		}
+	}
+}
+
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP(rng, 6, 8, 8, 2)
+	for i := 0; i < 50; i++ {
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		_, a := m.Forward(x)
+		b := m.Infer(x)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("forward %v != infer %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMLPJSONRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, 4, 7, 1)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 MLP
+	if err := json.Unmarshal(data, &m2); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, -2, 0.5, 3}
+	if a, b := m.Infer(x)[0], m2.Infer(x)[0]; a != b {
+		t.Fatalf("roundtrip changed predictions: %v vs %v", a, b)
+	}
+	if m.NumParams() != m2.NumParams() {
+		t.Fatal("param count changed")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	var m MLP
+	if err := json.Unmarshal([]byte(`[{"in":2,"out":3,"w":[1,2],"b":[0,0,0]}]`), &m); err == nil {
+		t.Fatal("expected error for wrong weight count")
+	}
+}

@@ -1,0 +1,94 @@
+package planio
+
+import (
+	"testing"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+	"t3/internal/feature"
+	"t3/internal/workload"
+)
+
+// benchPlan returns an annotated multi-pipeline plan.
+func benchPlan(t *testing.T) *plan.Node {
+	t.Helper()
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_pio", 0.01, 3))
+	qs := workload.TPCHBenchmarkQueries(in)
+	root := qs[2].Root // q5: joins, filters, group-by, sort
+	if err := exec.AnnotateTrueCards(root); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestRoundtripPreservesFeatureVectors(t *testing.T) {
+	root := benchPlan(t)
+	data, err := Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := feature.NewDefaultRegistry()
+	origVecs, origPs := reg.PlanVectors(root, plan.TrueCards)
+	backVecs, backPs := reg.PlanVectors(back, plan.TrueCards)
+	if len(origVecs) != len(backVecs) {
+		t.Fatalf("pipeline count changed: %d -> %d", len(origVecs), len(backVecs))
+	}
+	for i := range origVecs {
+		if feature.SourceCard(origPs[i], plan.TrueCards) != feature.SourceCard(backPs[i], plan.TrueCards) {
+			t.Errorf("pipeline %d: source card changed", i)
+		}
+		for f := range origVecs[i] {
+			if origVecs[i][f] != backVecs[i][f] {
+				t.Errorf("pipeline %d feature %s: %v -> %v",
+					i, reg.Names()[f], origVecs[i][f], backVecs[i][f])
+			}
+		}
+	}
+}
+
+func TestDecodedPlanIsNotExecutable(t *testing.T) {
+	root := benchPlan(t)
+	data, err := Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Run(back, false); err == nil {
+		t.Fatal("decoded plan executed — scans should have no bound tables")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad op":       `{"op":"FlumeScan"}`,
+		"no columns":   `{"op":"TableScan","card":{"true":1,"est":1}}`,
+		"bad type":     `{"op":"TableScan","columns":[{"name":"x","type":"BLOB"}],"card":{}}`,
+		"bad class":    `{"op":"TableScan","columns":[{"name":"x","type":"BIGINT"}],"predicates":[{"class":"regex"}],"card":{}}`,
+		"join 1 child": `{"op":"HashJoin","left":{"op":"TableScan","columns":[{"name":"x","type":"BIGINT"}],"card":{}},"card":{}}`,
+		"lonely limit": `{"op":"Limit","card":{}}`,
+		"not json":     `{]`,
+	}
+	for name, doc := range cases {
+		if _, err := Unmarshal([]byte(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestEncodeNilIsNil(t *testing.T) {
+	if Encode(nil) != nil {
+		t.Fatal("Encode(nil) != nil")
+	}
+	n, err := Decode(nil)
+	if err != nil || n != nil {
+		t.Fatal("Decode(nil) should be nil, nil")
+	}
+}

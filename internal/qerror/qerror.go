@@ -1,0 +1,111 @@
+// Package qerror implements the q-error metric and its aggregation, the
+// evaluation measure used throughout the paper (§5.2):
+//
+//	q-error(a, b) = max(a/b, b/a)
+//
+// Q-error penalizes over- and underestimation symmetrically; 1.0 is a
+// perfect prediction. Because performance prediction has heavy outliers, the
+// paper reports p50 and p90 percentiles alongside plain averages.
+package qerror
+
+import (
+	"math"
+	"sort"
+)
+
+// QError returns max(a/b, b/a). Non-positive inputs are clamped to a small
+// epsilon so that "predicted 0" yields a large-but-finite error instead of
+// infinity.
+func QError(a, b float64) float64 {
+	const eps = 1e-12
+	if a < eps {
+		a = eps
+	}
+	if b < eps {
+		b = eps
+	}
+	if a > b {
+		return a / b
+	}
+	return b / a
+}
+
+// Summary aggregates a set of q-errors.
+type Summary struct {
+	N   int
+	Avg float64
+	P50 float64
+	P90 float64
+	P99 float64
+	Max float64
+}
+
+// Summarize computes the aggregate statistics over the given q-errors.
+func Summarize(es []float64) Summary {
+	if len(es) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(es)}
+	sorted := append([]float64(nil), es...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, e := range sorted {
+		sum += e
+	}
+	s.Avg = sum / float64(len(sorted))
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// slice using linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram buckets q-errors into multiplicative bins for the error
+// frequency distribution of Figure 7. Bounds[i] is the upper edge of bin i;
+// the final bin is unbounded.
+type Histogram struct {
+	Bounds []float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram with the given upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{Bounds: bounds, Counts: make([]int, len(bounds)+1)}
+}
+
+// Add records one q-error.
+func (h *Histogram) Add(e float64) {
+	for i, b := range h.Bounds {
+		if e <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// AddAll records many q-errors.
+func (h *Histogram) AddAll(es []float64) {
+	for _, e := range es {
+		h.Add(e)
+	}
+}

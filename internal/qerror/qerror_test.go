@@ -1,0 +1,145 @@
+package qerror
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQErrorBasics(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{1, 1, 1},
+		{2, 1, 2},
+		{1, 2, 2},
+		{10, 100, 10},
+		{0.001, 0.01, 10},
+	}
+	for _, c := range cases {
+		if got := QError(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQErrorProperties(t *testing.T) {
+	// Symmetry and >= 1.
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+1e-9, math.Abs(b)+1e-9
+		q := QError(a, b)
+		return q >= 1 && q == QError(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Scale invariance: q(ka, kb) == q(a, b) on magnitudes that do not
+	// overflow when scaled.
+	g := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 1e12) + 1e-6
+		b = math.Mod(math.Abs(b), 1e12) + 1e-6
+		const k = 7.5
+		return math.Abs(QError(k*a, k*b)-QError(a, b)) < 1e-9*QError(a, b)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQErrorClampsNonPositive(t *testing.T) {
+	if q := QError(0, 1); math.IsInf(q, 0) || math.IsNaN(q) {
+		t.Errorf("QError(0,1) = %v, want finite", q)
+	}
+	if q := QError(-5, 1); math.IsInf(q, 0) || math.IsNaN(q) {
+		t.Errorf("QError(-5,1) = %v, want finite", q)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 11})
+	if s.N != 10 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Avg != 2 {
+		t.Errorf("avg = %v, want 2", s.Avg)
+	}
+	if s.P50 != 1 {
+		t.Errorf("p50 = %v, want 1", s.P50)
+	}
+	if s.Max != 11 {
+		t.Errorf("max = %v, want 11", s.Max)
+	}
+	if s.P90 <= 1 || s.P90 > 11 {
+		t.Errorf("p90 = %v out of range", s.P90)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Avg != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{5, 1, 3}
+	Summarize(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+	if got := Percentile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty percentile = %v, want NaN", got)
+	}
+	// Interpolation between elements.
+	if got := Percentile([]float64{0, 10}, 0.35); math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("interpolated percentile = %v, want 3.5", got)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	sorted := []float64{1, 1.5, 2, 4, 8, 8, 9, 100}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		v := Percentile(sorted, p)
+		if v < prev {
+			t.Fatalf("percentile not monotonic at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1.5, 2, 10})
+	h.AddAll([]float64{1, 1.4, 1.6, 3, 11, 200})
+	want := []int{2, 1, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	h := NewHistogram([]float64{2})
+	h.Add(2)
+	if h.Counts[0] != 1 || h.Counts[1] != 0 {
+		t.Errorf("boundary value should land in first bucket: %v", h.Counts)
+	}
+}

@@ -1,0 +1,152 @@
+// Package sched simulates prediction-driven query scheduling — the paper's
+// motivating use-case (§1): a spike of concurrent queries must be assigned
+// across compute clusters, each query waiting for its performance prediction
+// before it can be placed. Better predictions improve placement; prediction
+// latency is paid on every query's critical path.
+//
+// The simulator is discrete and deterministic: a dispatcher processes the
+// queue sequentially (predictions serialize on the dispatcher, as in the
+// paper's "each query must wait for its prediction before being scheduled"),
+// assigns each job per the policy, and clusters execute jobs back to back
+// with their *actual* measured durations.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Job is one query to schedule.
+type Job struct {
+	ID string
+	// Actual is the measured execution time, charged to the cluster.
+	Actual time.Duration
+	// Predicted is the estimate the policy sees (0 for prediction-free
+	// policies).
+	Predicted time.Duration
+	// PredLatency is the prediction cost paid by the dispatcher before the
+	// job can be placed.
+	PredLatency time.Duration
+}
+
+// Policy decides the processing order and placement of jobs.
+type Policy uint8
+
+// Scheduling policies.
+const (
+	// RoundRobin assigns jobs in arrival order, cycling clusters; needs no
+	// predictions.
+	RoundRobin Policy = iota
+	// LeastLoaded assigns each job (in arrival order) to the cluster with
+	// the least predicted outstanding work.
+	LeastLoaded
+	// LongestFirst sorts the queue by descending predicted time, then
+	// assigns least-loaded (LPT; near-optimal for makespan).
+	LongestFirst
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return "longest-first"
+	}
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Policy   Policy
+	Clusters int
+	// Makespan is the time the last cluster finishes.
+	Makespan time.Duration
+	// MeanCompletion and P95Completion aggregate per-job completion times
+	// (dispatch wait + queue wait + execution).
+	MeanCompletion time.Duration
+	P95Completion  time.Duration
+	// DispatchOverhead is the total prediction latency serialized on the
+	// dispatcher.
+	DispatchOverhead time.Duration
+}
+
+// Simulate schedules the jobs onto the given number of clusters.
+func Simulate(jobs []Job, clusters int, policy Policy) Result {
+	if clusters < 1 {
+		clusters = 1
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	if policy == LongestFirst {
+		sort.SliceStable(order, func(a, b int) bool {
+			return jobs[order[a]].Predicted > jobs[order[b]].Predicted
+		})
+	}
+
+	// free[c] is when cluster c next becomes idle; predLoad[c] is the
+	// policy's view of outstanding predicted work.
+	free := make([]time.Duration, clusters)
+	predLoad := make([]time.Duration, clusters)
+	completions := make([]time.Duration, 0, len(jobs))
+
+	var dispatch time.Duration // dispatcher clock
+	var res Result
+	res.Policy = policy
+	res.Clusters = clusters
+	for i, oi := range order {
+		j := jobs[oi]
+		// The dispatcher pays the prediction latency before placing.
+		dispatch += j.PredLatency
+		res.DispatchOverhead += j.PredLatency
+
+		var c int
+		switch policy {
+		case RoundRobin:
+			c = i % clusters
+		default:
+			c = 0
+			for k := 1; k < clusters; k++ {
+				if predLoad[k] < predLoad[c] {
+					c = k
+				}
+			}
+		}
+		start := maxDur(free[c], dispatch)
+		finish := start + j.Actual
+		free[c] = finish
+		predLoad[c] += j.Predicted
+		completions = append(completions, finish)
+		if finish > res.Makespan {
+			res.Makespan = finish
+		}
+	}
+
+	sort.Slice(completions, func(a, b int) bool { return completions[a] < completions[b] })
+	var sum time.Duration
+	for _, cdone := range completions {
+		sum += cdone
+	}
+	if len(completions) > 0 {
+		res.MeanCompletion = sum / time.Duration(len(completions))
+		res.P95Completion = completions[len(completions)*95/100]
+	}
+	return res
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Format renders the result as one table row.
+func (r Result) Format() string {
+	return fmt.Sprintf("%-14s makespan=%v mean=%v p95=%v dispatch=%v",
+		r.Policy, r.Makespan, r.MeanCompletion, r.P95Completion, r.DispatchOverhead)
+}

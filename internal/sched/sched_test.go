@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// mkJobs builds n jobs with durations in [1ms, 100ms] and the given
+// prediction quality: predicted = actual * (1 ± err).
+func mkJobs(n int, err float64, predLat time.Duration, seed int64) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, n)
+	for i := range jobs {
+		actual := time.Duration(1+rng.Intn(100)) * time.Millisecond
+		noise := 1 + (rng.Float64()*2-1)*err
+		if noise < 0.01 {
+			noise = 0.01
+		}
+		jobs[i] = Job{
+			ID:          "q",
+			Actual:      actual,
+			Predicted:   time.Duration(float64(actual) * noise),
+			PredLatency: predLat,
+		}
+	}
+	return jobs
+}
+
+func TestPerfectPredictionsBeatRoundRobin(t *testing.T) {
+	jobs := mkJobs(200, 0, 0, 1)
+	rr := Simulate(jobs, 4, RoundRobin)
+	lpt := Simulate(jobs, 4, LongestFirst)
+	if lpt.Makespan >= rr.Makespan {
+		t.Errorf("LPT makespan %v should beat round-robin %v", lpt.Makespan, rr.Makespan)
+	}
+	ll := Simulate(jobs, 4, LeastLoaded)
+	if ll.Makespan > rr.Makespan {
+		t.Errorf("least-loaded makespan %v should not exceed round-robin %v", ll.Makespan, rr.Makespan)
+	}
+}
+
+func TestMakespanLowerBound(t *testing.T) {
+	jobs := mkJobs(100, 0.2, 0, 2)
+	var total time.Duration
+	var longest time.Duration
+	for _, j := range jobs {
+		total += j.Actual
+		if j.Actual > longest {
+			longest = j.Actual
+		}
+	}
+	for _, p := range []Policy{RoundRobin, LeastLoaded, LongestFirst} {
+		r := Simulate(jobs, 4, p)
+		lb := maxDur(total/4, longest)
+		if r.Makespan < lb {
+			t.Errorf("%v: makespan %v below lower bound %v", p, r.Makespan, lb)
+		}
+		if r.Makespan > total {
+			t.Errorf("%v: makespan %v exceeds serial time %v", p, r.Makespan, total)
+		}
+	}
+}
+
+func TestPredictionLatencyDelaysEverything(t *testing.T) {
+	fast := mkJobs(500, 0.1, 4*time.Microsecond, 3)
+	slow := make([]Job, len(fast))
+	copy(slow, fast)
+	for i := range slow {
+		slow[i].PredLatency = 50 * time.Millisecond // an NN-class predictor
+	}
+	rFast := Simulate(fast, 8, LongestFirst)
+	rSlow := Simulate(slow, 8, LongestFirst)
+	if rSlow.DispatchOverhead <= rFast.DispatchOverhead {
+		t.Fatal("dispatch overhead should reflect prediction latency")
+	}
+	// With 500 x 50ms serialized predictions, the dispatcher becomes the
+	// bottleneck: 25 seconds of pure prediction time.
+	if rSlow.Makespan <= rFast.Makespan {
+		t.Errorf("slow-predictor makespan %v should exceed fast %v", rSlow.Makespan, rFast.Makespan)
+	}
+	if rSlow.MeanCompletion <= rFast.MeanCompletion {
+		t.Errorf("slow-predictor mean completion %v should exceed fast %v",
+			rSlow.MeanCompletion, rFast.MeanCompletion)
+	}
+}
+
+func TestBadPredictionsHurtPlacement(t *testing.T) {
+	good := mkJobs(300, 0.05, 0, 4)
+	bad := make([]Job, len(good))
+	copy(bad, good)
+	rng := rand.New(rand.NewSource(5))
+	for i := range bad {
+		// Random predictions uncorrelated with actual times.
+		bad[i].Predicted = time.Duration(1+rng.Intn(100)) * time.Millisecond
+	}
+	rGood := Simulate(good, 4, LongestFirst)
+	rBad := Simulate(bad, 4, LongestFirst)
+	if rBad.Makespan < rGood.Makespan {
+		t.Errorf("random predictions (%v) should not beat accurate ones (%v)",
+			rBad.Makespan, rGood.Makespan)
+	}
+}
+
+func TestSingleClusterSerializes(t *testing.T) {
+	jobs := mkJobs(50, 0, 0, 6)
+	var total time.Duration
+	for _, j := range jobs {
+		total += j.Actual
+	}
+	r := Simulate(jobs, 1, LeastLoaded)
+	if r.Makespan != total {
+		t.Errorf("single cluster makespan %v != serial %v", r.Makespan, total)
+	}
+	if r2 := Simulate(jobs, 0, RoundRobin); r2.Clusters != 1 {
+		t.Error("clusters < 1 should clamp to 1")
+	}
+}
+
+func TestEmptyJobs(t *testing.T) {
+	r := Simulate(nil, 4, LongestFirst)
+	if r.Makespan != 0 || r.MeanCompletion != 0 {
+		t.Errorf("empty simulation: %+v", r)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" || LongestFirst.String() != "longest-first" {
+		t.Error("policy names wrong")
+	}
+}

@@ -1,0 +1,234 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is any AST node.
+type Node interface {
+	String() string
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr // nil when absent; conjunctions are flattened by the planner
+	GroupBy  []Expr
+	Having   Expr // nil when absent; references output names
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// String renders the statement (normalized).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	for _, j := range s.Joins {
+		sb.WriteString(" JOIN " + j.Table.String() + " ON " + j.On.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			parts[i] = g.String()
+		}
+		sb.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.String()
+		}
+		sb.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
+	}
+	return sb.String()
+}
+
+// SelectItem is one output expression, possibly aliased; Star marks "*".
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// String renders the item.
+func (it SelectItem) String() string {
+	if it.Star {
+		return "*"
+	}
+	if it.Alias != "" {
+		return it.Expr.String() + " AS " + it.Alias
+	}
+	return it.Expr.String()
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the effective name (alias if present).
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// String renders the reference.
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is an explicit JOIN ... ON clause.
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// String renders the item.
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String() + " ASC"
+}
+
+// Expr is a SQL scalar or boolean expression.
+type Expr interface {
+	Node
+}
+
+// ColumnExpr references table.column or a bare column name.
+type ColumnExpr struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+// String renders the reference.
+func (c *ColumnExpr) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// NumberExpr is a numeric literal; Float reports a decimal point.
+type NumberExpr struct {
+	Text  string
+	Value float64
+	Float bool
+}
+
+// String renders the literal.
+func (n *NumberExpr) String() string { return n.Text }
+
+// StringExpr is a string literal.
+type StringExpr struct {
+	Value string
+}
+
+// String renders the literal.
+func (s *StringExpr) String() string { return "'" + strings.ReplaceAll(s.Value, "'", "''") + "'" }
+
+// BinaryExpr is a binary operation: comparison, arithmetic, AND, OR.
+type BinaryExpr struct {
+	Op    string // =, <>, <, <=, >, >=, +, -, *, /, AND, OR
+	Left  Expr
+	Right Expr
+}
+
+// String renders the expression.
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// BetweenExpr is x BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Expr   Expr
+	Lo, Hi Expr
+}
+
+// String renders the expression.
+func (b *BetweenExpr) String() string {
+	return b.Expr.String() + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+// InExpr is x IN (v1, v2, ...).
+type InExpr struct {
+	Expr Expr
+	List []Expr
+}
+
+// String renders the expression.
+func (e *InExpr) String() string {
+	parts := make([]string, len(e.List))
+	for i, v := range e.List {
+		parts[i] = v.String()
+	}
+	return e.Expr.String() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// LikeExpr is x LIKE 'pattern'.
+type LikeExpr struct {
+	Expr    Expr
+	Pattern string
+}
+
+// String renders the expression.
+func (e *LikeExpr) String() string {
+	return e.Expr.String() + " LIKE '" + e.Pattern + "'"
+}
+
+// CallExpr is an aggregate call: COUNT(*), SUM(x), MIN(x), MAX(x), AVG(x).
+type CallExpr struct {
+	Func string // upper-case
+	Star bool   // COUNT(*)
+	Arg  Expr   // nil for COUNT(*)
+}
+
+// String renders the call.
+func (c *CallExpr) String() string {
+	if c.Star {
+		return c.Func + "(*)"
+	}
+	return c.Func + "(" + c.Arg.String() + ")"
+}

@@ -1,0 +1,145 @@
+// Package sql implements a small SQL front-end for the engine: a lexer,
+// recursive-descent parser, and planner that turns SELECT statements into
+// annotated physical plans over a database instance.
+//
+// The supported subset covers the query shapes of the paper's workloads:
+// projections, arithmetic, WHERE conjunctions (comparisons, BETWEEN, IN,
+// LIKE), inner equi-joins (comma syntax or JOIN ... ON), GROUP BY with
+// aggregates, ORDER BY, and LIMIT. The planner pushes single-table
+// predicates into scans, orders joins greedily by estimated cardinality, and
+// produces the same plan.Node trees the rest of the system featurizes,
+// predicts, and executes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // ( ) , . * + - / = < > <= >= <>
+)
+
+// Token is one lexical element with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased
+	Pos  int
+}
+
+// keywords recognized by the lexer.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AND": true, "OR": true, "NOT": true,
+	"AS": true, "ASC": true, "DESC": true, "BETWEEN": true, "IN": true,
+	"LIKE": true, "JOIN": true, "INNER": true, "ON": true, "COUNT": true,
+	"SUM": true, "MIN": true, "MAX": true, "AVG": true, "DISTINCT": true,
+	"HAVING": true,
+}
+
+// Lex tokenizes a SQL string.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			seenDot := false
+			for i < n && (isDigit(input[i]) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at position %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case strings.ContainsRune("(),.*+-/=", rune(c)):
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokSymbol, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokSymbol, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "<>", Pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at position %d", i)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,553 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+	"t3/internal/workload"
+)
+
+func TestLex(t *testing.T) {
+	toks, err := Lex("SELECT a.b, 'it''s', 3.14 FROM t WHERE x <= 5 -- comment\nAND y <> 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"SELECT", "a", ".", "b", ",", "it's", ",", "3.14", "FROM", "t",
+		"WHERE", "x", "<=", "5", "AND", "y", "<>", "2", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("got %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d: %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "a ! b", "a @ b"} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("%q: expected lex error", bad)
+		}
+	}
+}
+
+func TestParseRoundtrip(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM t",
+		"SELECT a, b AS c FROM t WHERE (a = 1)",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2 ORDER BY a ASC LIMIT 10",
+		"SELECT COUNT(*), SUM(x) AS s FROM t GROUP BY y",
+		"SELECT a FROM t1, t2 WHERE (t1.id = t2.fk)",
+		"SELECT a FROM t1 JOIN t2 ON (t1.id = t2.fk)",
+		"SELECT a FROM t WHERE a IN (1, 2, 3)",
+		"SELECT a FROM t WHERE s LIKE 'ab%'",
+		"SELECT a FROM t WHERE ((a = 1) OR (b = 2))",
+	}
+	for _, q := range cases {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Errorf("%s: %v", q, err)
+			continue
+		}
+		// Re-parse the normalized form: must be stable.
+		again, err := Parse(stmt.String())
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", stmt.String(), err)
+			continue
+		}
+		if stmt.String() != again.String() {
+			t.Errorf("not a fixpoint: %q vs %q", stmt.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT * FROM t extra garbage here",
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t WHERE a LIKE 5",
+		"UPDATE t SET x = 1",
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q: expected parse error", q)
+		}
+	}
+}
+
+// tpch builds a small instance for planner tests.
+func tpch(t *testing.T) (*workload.Instance, *Planner) {
+	t.Helper()
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_sql", 0.01, 5))
+	return in, NewPlanner(in.DB, in.Stats)
+}
+
+// run plans and executes a query, returning the result.
+func run(t *testing.T, pl *Planner, q string) *exec.RunResult {
+	t.Helper()
+	root, err := pl.PlanString(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	ps := plan.Decompose(root)
+	if err := plan.ValidatePipelines(ps); err != nil {
+		t.Fatalf("%s: invalid pipelines: %v", q, err)
+	}
+	res, err := exec.Run(root, true)
+	if err != nil {
+		t.Fatalf("%s: execution: %v", q, err)
+	}
+	return res
+}
+
+func TestPlanSimpleScan(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, "SELECT id, o_totalprice FROM orders WHERE o_totalprice > 400000")
+	// Reference count.
+	ord := in.Table("orders")
+	want := 0
+	for _, v := range ord.Column("o_totalprice").Flts {
+		if v > 400000 {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("rows = %d, want %d", res.Rows, want)
+	}
+	if len(res.Output.Cols) != 2 {
+		t.Fatalf("output columns = %d", len(res.Output.Cols))
+	}
+}
+
+func TestPlanPushdownIntoScan(t *testing.T) {
+	_, pl := tpch(t)
+	root, err := pl.PlanString("SELECT id FROM customer WHERE c_acctbal BETWEEN 0 AND 100 AND c_mktsegment LIKE 'b%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both predicates must be pushed into the scan, not Filter nodes.
+	var scans, filters int
+	root.Walk(func(n *plan.Node) {
+		switch n.Op {
+		case plan.TableScanOp:
+			scans++
+			if len(n.Predicates) != 2 {
+				t.Errorf("scan has %d pushed predicates, want 2", len(n.Predicates))
+			}
+		case plan.FilterOp:
+			filters++
+		}
+	})
+	if scans != 1 || filters != 0 {
+		t.Errorf("scans=%d filters=%d", scans, filters)
+	}
+}
+
+func TestPlanJoinMatchesReference(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, `SELECT o.id, c.c_acctbal FROM orders o, customer c
+		WHERE o.o_custkey = c.id AND c.c_acctbal > 9000`)
+	cust := in.Table("customer")
+	ord := in.Table("orders")
+	rich := map[int64]bool{}
+	for i, v := range cust.Column("c_acctbal").Flts {
+		if v > 9000 {
+			rich[cust.Column("id").Ints[i]] = true
+		}
+	}
+	want := 0
+	for _, ck := range ord.Column("o_custkey").Ints {
+		if rich[ck] {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("join rows = %d, want %d", res.Rows, want)
+	}
+}
+
+func TestPlanThreeWayJoinWithExplicitJoinSyntax(t *testing.T) {
+	_, pl := tpch(t)
+	res := run(t, pl, `SELECT COUNT(*) AS n
+		FROM lineitem l
+		JOIN orders o ON l.l_orderkey = o.id
+		JOIN customer c ON o.o_custkey = c.id
+		WHERE c.c_acctbal > 0`)
+	if res.Rows != 1 {
+		t.Fatalf("aggregate rows = %d", res.Rows)
+	}
+	if res.Output.Cols[0].Ints[0] <= 0 {
+		t.Fatal("three-way join returned no tuples")
+	}
+}
+
+func TestPlanAggregation(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, `SELECT c_mktsegment, COUNT(*) AS n, AVG(c_acctbal) AS bal
+		FROM customer GROUP BY c_mktsegment ORDER BY n DESC`)
+	cust := in.Table("customer")
+	ref := map[string]int64{}
+	for _, s := range cust.Column("c_mktsegment").Strs {
+		ref[s]++
+	}
+	if res.Rows != len(ref) {
+		t.Fatalf("groups = %d, want %d", res.Rows, len(ref))
+	}
+	// Descending count order.
+	counts := res.Output.Cols[1].Ints
+	for i := 1; i < len(counts); i++ {
+		if counts[i-1] < counts[i] {
+			t.Fatal("ORDER BY n DESC violated")
+		}
+	}
+	for i := 0; i < res.Rows; i++ {
+		seg := res.Output.Cols[0].Strs[i]
+		if counts[i] != ref[seg] {
+			t.Errorf("segment %s: count %d, want %d", seg, counts[i], ref[seg])
+		}
+	}
+}
+
+func TestPlanComputedAggArgument(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, `SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM lineitem WHERE l_quantity < 10`)
+	if res.Rows != 1 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	li := in.Table("lineitem")
+	want := 0.0
+	q := li.Column("l_quantity").Ints
+	ep := li.Column("l_extendedprice").Flts
+	d := li.Column("l_discount").Flts
+	for i := range q {
+		if q[i] < 10 {
+			want += ep[i] * (1 - d[i])
+		}
+	}
+	got := res.Output.Cols[0].Flts[0]
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("revenue = %v, want %v", got, want)
+	}
+}
+
+func TestPlanOrDisjunction(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, "SELECT id FROM part WHERE p_size <= 2 OR p_size >= 49")
+	p := in.Table("part")
+	want := 0
+	for _, v := range p.Column("p_size").Ints {
+		if v <= 2 || v >= 49 {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("rows = %d, want %d", res.Rows, want)
+	}
+}
+
+func TestPlanComputedSelectItem(t *testing.T) {
+	_, pl := tpch(t)
+	res := run(t, pl, "SELECT l_extendedprice / 100 AS cents FROM lineitem LIMIT 5")
+	if res.Rows != 5 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	if res.Output.Cols[0].Name != "cents" {
+		t.Errorf("output name = %q", res.Output.Cols[0].Name)
+	}
+}
+
+func TestPlanStarAndLimit(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, "SELECT * FROM nation LIMIT 7")
+	if res.Rows != 7 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	if len(res.Output.Cols) != len(in.Table("nation").Columns) {
+		t.Fatalf("star expanded to %d columns", len(res.Output.Cols))
+	}
+}
+
+func TestPlanEstimatesAnnotated(t *testing.T) {
+	_, pl := tpch(t)
+	root, err := pl.PlanString("SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity <= 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan *plan.Node
+	root.Walk(func(n *plan.Node) {
+		if n.Op == plan.TableScanOp {
+			scan = n
+		}
+	})
+	if scan.OutCard.Est <= 0 {
+		t.Fatalf("scan estimate missing: %v", scan.OutCard)
+	}
+	// Roughly half of quantities are <= 25.
+	frac := scan.OutCard.Est / scan.ScanCard
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("estimated selectivity %v, want ~0.5", frac)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	_, pl := tpch(t)
+	cases := map[string]string{
+		"unknown table":    "SELECT x FROM nosuch",
+		"unknown column":   "SELECT nosuch FROM orders",
+		"ambiguous column": "SELECT id FROM orders, customer WHERE orders.o_custkey = customer.id",
+		"cross product":    "SELECT orders.id FROM orders, customer",
+		"non-grouped col":  "SELECT o_orderdate, COUNT(*) AS n FROM orders GROUP BY o_orderpriority",
+		"order by missing": "SELECT id FROM orders ORDER BY nosuch",
+		"type mismatch":    "SELECT id FROM orders WHERE o_orderpriority > 5",
+		"dup table names":  "SELECT orders.id FROM orders, orders",
+	}
+	for name, q := range cases {
+		if _, err := pl.PlanString(q); err == nil {
+			t.Errorf("%s (%q): expected plan error", name, q)
+		}
+	}
+}
+
+func TestPlanPipelinesFeaturizable(t *testing.T) {
+	_, pl := tpch(t)
+	root, err := pl.PlanString(`SELECT o_orderpriority, COUNT(*) AS n
+		FROM orders o JOIN lineitem l ON l.l_orderkey = o.id
+		WHERE l.l_shipdate BETWEEN 9000 AND 9500
+		GROUP BY o_orderpriority ORDER BY n DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.AnnotateTrueCards(root); err != nil {
+		t.Fatal(err)
+	}
+	ps := plan.Decompose(root)
+	if len(ps) < 3 {
+		t.Fatalf("only %d pipelines", len(ps))
+	}
+	if err := plan.ValidatePipelines(ps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatementStringRendering(t *testing.T) {
+	stmt, err := Parse("select a, count(*) as n from t1 join t2 on t1.x = t2.y where a > 3 group by a order by n desc limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.String()
+	for _, want := range []string{"SELECT", "JOIN t2 ON", "GROUP BY a", "ORDER BY n DESC", "LIMIT 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered statement missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestPlanHaving(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, `SELECT c_mktsegment, COUNT(*) AS n FROM customer
+		GROUP BY c_mktsegment HAVING n >= 20 ORDER BY n DESC`)
+	cust := in.Table("customer")
+	ref := map[string]int64{}
+	for _, s := range cust.Column("c_mktsegment").Strs {
+		ref[s]++
+	}
+	want := 0
+	for _, c := range ref {
+		if c >= 20 {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("having groups = %d, want %d", res.Rows, want)
+	}
+	for i := 0; i < res.Rows; i++ {
+		if res.Output.Cols[1].Ints[i] < 20 {
+			t.Fatal("HAVING predicate violated")
+		}
+	}
+}
+
+func TestPlanDistinct(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, "SELECT DISTINCT c_mktsegment FROM customer")
+	cust := in.Table("customer")
+	ref := map[string]bool{}
+	for _, s := range cust.Column("c_mktsegment").Strs {
+		ref[s] = true
+	}
+	if res.Rows != len(ref) {
+		t.Fatalf("distinct rows = %d, want %d", res.Rows, len(ref))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < res.Rows; i++ {
+		v := res.Output.Cols[0].Strs[i]
+		if seen[v] {
+			t.Fatalf("duplicate %q in DISTINCT output", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPlanHavingErrors(t *testing.T) {
+	_, pl := tpch(t)
+	if _, err := pl.PlanString("SELECT id FROM orders HAVING id > 5"); err == nil {
+		t.Error("HAVING without grouping should fail")
+	}
+	if _, err := pl.PlanString("SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment HAVING nosuch > 5"); err == nil {
+		t.Error("HAVING with unknown column should fail")
+	}
+}
+
+func TestParseDistinctHavingRoundtrip(t *testing.T) {
+	stmt, err := Parse("SELECT DISTINCT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.Distinct || !strings.Contains(stmt.String(), "DISTINCT") {
+		t.Error("DISTINCT lost")
+	}
+	stmt2, err := Parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING n > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt2.Having == nil || !strings.Contains(stmt2.String(), "HAVING") {
+		t.Error("HAVING lost")
+	}
+}
+
+func TestPlanResidualCrossTableFilter(t *testing.T) {
+	in, pl := tpch(t)
+	// Non-equi cross-table predicate: cannot be pushed down or used as a
+	// join edge; must become a residual Filter above the join.
+	root, err := pl.PlanString(`SELECT o.id FROM orders o, lineitem l
+		WHERE l.l_orderkey = o.id AND l.l_shipdate < o.o_orderdate`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filters int
+	root.Walk(func(n *plan.Node) {
+		if n.Op == plan.FilterOp {
+			filters++
+		}
+	})
+	if filters != 1 {
+		t.Fatalf("residual filters = %d, want 1", filters)
+	}
+	res, err := exec.Run(root, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference.
+	ord := in.Table("orders")
+	li := in.Table("lineitem")
+	dates := map[int64]int64{}
+	for i, id := range ord.Column("id").Ints {
+		dates[id] = ord.Column("o_orderdate").Ints[i]
+	}
+	want := 0
+	lk := li.Column("l_orderkey").Ints
+	ls := li.Column("l_shipdate").Ints
+	for i := range lk {
+		if ls[i] < dates[lk[i]] {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("rows = %d, want %d", res.Rows, want)
+	}
+}
+
+func TestPlanLiteralOnLeft(t *testing.T) {
+	in, pl := tpch(t)
+	a := run(t, pl, "SELECT id FROM orders WHERE 400000 < o_totalprice")
+	b := run(t, pl, "SELECT id FROM orders WHERE o_totalprice > 400000")
+	if a.Rows != b.Rows {
+		t.Fatalf("mirrored comparison: %d vs %d rows", a.Rows, b.Rows)
+	}
+	_ = in
+}
+
+func TestPlanAndInsideOr(t *testing.T) {
+	in, pl := tpch(t)
+	res := run(t, pl, `SELECT id FROM part
+		WHERE (p_size <= 5 AND p_retailprice < 1500) OR p_size >= 45`)
+	p := in.Table("part")
+	sizes := p.Column("p_size").Ints
+	prices := p.Column("p_retailprice").Flts
+	want := 0
+	for i := range sizes {
+		if (sizes[i] <= 5 && prices[i] < 1500) || sizes[i] >= 45 {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("rows = %d, want %d", res.Rows, want)
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	_, pl := tpch(t)
+	res := run(t, pl, "SELECT id FROM supplier WHERE s_acctbal < -500")
+	res2 := run(t, pl, "SELECT id FROM supplier WHERE s_acctbal BETWEEN -999 AND -500")
+	if res2.Rows > res.Rows {
+		t.Fatalf("between subset larger than superset: %d > %d", res2.Rows, res.Rows)
+	}
+	// Unary minus over an expression (not a literal).
+	res3 := run(t, pl, "SELECT -(s_acctbal) AS neg FROM supplier LIMIT 3")
+	if res3.Rows != 3 || res3.Output.Cols[0].Name != "neg" {
+		t.Fatalf("negated expression select failed: %+v", res3.Output.Cols)
+	}
+}
+
+func TestUnparseHavingStylePlan(t *testing.T) {
+	in, pl := tpch(t)
+	root, err := pl.PlanString(`SELECT c_mktsegment, COUNT(*) AS n FROM customer
+		GROUP BY c_mktsegment HAVING n >= 10 ORDER BY n DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Unparse(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grouped block must be wrapped in a derived table so the filter
+	// can apply above the aggregation.
+	for _, want := range []string{"(SELECT", "GROUP BY", ") d", "WHERE", "ORDER BY", "LIMIT 3"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("unparsed HAVING plan missing %q:\n%s", want, text)
+		}
+	}
+	_ = in
+}
+
+func TestUnparseDistinctPlan(t *testing.T) {
+	_, pl := tpch(t)
+	root, err := pl.PlanString("SELECT DISTINCT c_mktsegment FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Unparse(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "GROUP BY") {
+		t.Fatalf("distinct should unparse as GROUP BY: %s", text)
+	}
+}

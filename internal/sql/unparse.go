@@ -1,0 +1,429 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// Unparse renders a physical plan back into SQL text. It supports the plan
+// shapes the generators and the planner produce: scan/filter/map chains,
+// hash joins (including breaker inputs, rendered as derived tables),
+// grouping, sorting, windows, and limits. The output is standard SQL; note
+// that window functions and derived tables are outside the subset this
+// package's own parser accepts.
+func Unparse(root *plan.Node) (string, error) {
+	u := &unparser{}
+	b, names, err := u.build(root)
+	if err != nil {
+		return "", err
+	}
+	return b.render(names), nil
+}
+
+// block accumulates one SELECT block.
+type block struct {
+	sel     []string // explicit select items; empty means all names
+	from    []string
+	where   []string
+	group   []string
+	order   []string
+	limit   int  // -1 = none
+	grouped bool // a GROUP BY was placed
+}
+
+func newBlock() *block { return &block{limit: -1} }
+
+// render assembles the block into SQL, defaulting the select list to names.
+func (b *block) render(names []string) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if len(b.sel) > 0 {
+		sb.WriteString(strings.Join(b.sel, ", "))
+	} else {
+		sb.WriteString(strings.Join(names, ", "))
+	}
+	sb.WriteString(" FROM " + strings.Join(b.from, ", "))
+	if len(b.where) > 0 {
+		sb.WriteString(" WHERE " + strings.Join(b.where, " AND "))
+	}
+	if len(b.group) > 0 {
+		sb.WriteString(" GROUP BY " + strings.Join(b.group, ", "))
+	}
+	if len(b.order) > 0 {
+		sb.WriteString(" ORDER BY " + strings.Join(b.order, ", "))
+	}
+	if b.limit >= 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", b.limit))
+	}
+	return sb.String()
+}
+
+// unparser assigns table and derived-table aliases.
+type unparser struct {
+	aliasN int
+}
+
+func (u *unparser) alias(prefix string) string {
+	u.aliasN++
+	return fmt.Sprintf("%s%d", prefix, u.aliasN)
+}
+
+// build recursively converts a node into a block plus the SQL expressions
+// naming its output columns.
+func (u *unparser) build(n *plan.Node) (*block, []string, error) {
+	switch n.Op {
+	case plan.TableScanOp:
+		a := u.alias("t")
+		b := newBlock()
+		b.from = append(b.from, n.TableName+" "+a)
+		names := make([]string, len(n.Schema))
+		for i, cm := range n.Schema {
+			names[i] = a + "." + cm.Name
+		}
+		for _, p := range n.Predicates {
+			s, err := sqlExpr(p, names)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.where = append(b.where, s)
+		}
+		return b, names, nil
+
+	case plan.FilterOp:
+		b, names, err := u.build(n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		if b.grouped {
+			b, names = u.wrap(b, names, n.Left.Schema)
+		}
+		s, err := sqlExpr(n.FilterPred, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.where = append(b.where, s)
+		return b, names, nil
+
+	case plan.MapOp:
+		b, names, err := u.build(n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out []string
+		if !n.MapReplaces() {
+			out = append(out, names...)
+		}
+		for _, e := range n.MapExprs {
+			s, err := sqlExpr(e, names)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, s)
+		}
+		return b, out, nil
+
+	case plan.MaterializeOp:
+		return u.build(n.Left)
+
+	case plan.LimitOp:
+		b, names, err := u.build(n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.limit = n.LimitN
+		return b, names, nil
+
+	case plan.SortOp:
+		b, names, err := u.build(n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(b.order) > 0 {
+			b, names = u.wrap(b, names, n.Left.Schema)
+		}
+		for i, ci := range n.SortCols {
+			dir := " ASC"
+			if i < len(n.SortDesc) && n.SortDesc[i] {
+				dir = " DESC"
+			}
+			b.order = append(b.order, names[ci]+dir)
+		}
+		return b, names, nil
+
+	case plan.HashJoinOp:
+		// Probe side continues the current block; the build side merges
+		// when it is a plain scan chain, otherwise it becomes a derived
+		// table.
+		pb, pNames, err := u.build(n.Right)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pb.grouped || len(pb.order) > 0 || pb.limit >= 0 {
+			pb, pNames = u.wrap(pb, pNames, n.Right.Schema)
+		}
+		var bNames []string
+		if mergeable(n.Left) {
+			bb, names, err := u.build(n.Left)
+			if err != nil {
+				return nil, nil, err
+			}
+			pb.from = append(pb.from, bb.from...)
+			pb.where = append(pb.where, bb.where...)
+			bNames = names
+		} else {
+			bb, names, err := u.build(n.Left)
+			if err != nil {
+				return nil, nil, err
+			}
+			sub, subNames := u.derived(bb, names, n.Left.Schema)
+			pb.from = append(pb.from, sub)
+			bNames = subNames
+		}
+		for k := range n.BuildKeys {
+			pb.where = append(pb.where, bNames[n.BuildKeys[k]]+" = "+pNames[n.ProbeKeys[k]])
+		}
+		out := append([]string(nil), pNames...)
+		for _, ci := range n.BuildPayload {
+			out = append(out, bNames[ci])
+		}
+		return pb, out, nil
+
+	case plan.GroupByOp:
+		b, names, err := u.build(n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		if b.grouped || len(b.order) > 0 || b.limit >= 0 {
+			b, names = u.wrap(b, names, n.Left.Schema)
+		}
+		var out []string
+		for _, ci := range n.GroupCols {
+			b.group = append(b.group, names[ci])
+			b.sel = append(b.sel, names[ci])
+			out = append(out, names[ci])
+		}
+		for i, a := range n.Aggs {
+			var item string
+			switch a.Fn {
+			case plan.AggCount:
+				item = "COUNT(*)"
+			default:
+				item = fmt.Sprintf("%s(%s)", strings.ToUpper(a.Fn.String()), names[a.Col])
+			}
+			aliased := item + " AS " + n.AggNames[i]
+			b.sel = append(b.sel, aliased)
+			out = append(out, n.AggNames[i])
+		}
+		if len(n.GroupCols) == 0 {
+			b.group = nil // global aggregate: no GROUP BY clause needed
+		}
+		b.grouped = true
+		return b, out, nil
+
+	case plan.WindowOp:
+		b, names, err := u.build(n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		if b.grouped {
+			b, names = u.wrap(b, names, n.Left.Schema)
+		}
+		var over []string
+		if len(n.WinPartition) > 0 {
+			parts := make([]string, len(n.WinPartition))
+			for i, ci := range n.WinPartition {
+				parts[i] = names[ci]
+			}
+			over = append(over, "PARTITION BY "+strings.Join(parts, ", "))
+		}
+		if len(n.WinOrder) > 0 {
+			ords := make([]string, len(n.WinOrder))
+			for i, ci := range n.WinOrder {
+				ords[i] = names[ci]
+			}
+			over = append(over, "ORDER BY "+strings.Join(ords, ", "))
+		}
+		var fn string
+		switch n.WinFunc {
+		case plan.WinRowNumber:
+			fn = "ROW_NUMBER()"
+		case plan.WinRank:
+			fn = "RANK()"
+		default:
+			fn = fmt.Sprintf("SUM(%s)", names[n.WinArg])
+		}
+		winName := n.Schema[len(n.Schema)-1].Name
+		item := fmt.Sprintf("%s OVER (%s) AS %s", fn, strings.Join(over, " "), winName)
+		b.sel = append(append([]string(nil), names...), item)
+		return b, append(append([]string(nil), names...), winName), nil
+
+	default:
+		return nil, nil, fmt.Errorf("sql: cannot unparse operator %v", n.Op)
+	}
+}
+
+// mergeable reports whether the subtree is a plain scan/filter/map chain
+// that can merge into the enclosing block without a derived table.
+func mergeable(n *plan.Node) bool {
+	for n != nil {
+		switch n.Op {
+		case plan.TableScanOp:
+			return true
+		case plan.FilterOp, plan.MapOp:
+			n = n.Left
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// wrap turns a finished block into a derived table so further clauses can
+// attach in a fresh outer block.
+func (u *unparser) wrap(b *block, names []string, schema []plan.ColMeta) (*block, []string) {
+	sub, subNames := u.derived(b, names, schema)
+	outer := newBlock()
+	outer.from = append(outer.from, sub)
+	return outer, subNames
+}
+
+// derived renders a block as "(SELECT ... ) alias" with stable column
+// aliases, returning the FROM item and the outer column names.
+func (u *unparser) derived(b *block, names []string, schema []plan.ColMeta) (string, []string) {
+	a := u.alias("d")
+	sel := make([]string, len(names))
+	outNames := make([]string, len(names))
+	for i := range names {
+		col := fmt.Sprintf("c%d", i)
+		if i < len(schema) && isPlainIdent(schema[i].Name) {
+			col = schema[i].Name
+		}
+		inner := names[i]
+		if len(b.sel) > 0 {
+			inner = stripAlias(b.sel[i])
+		}
+		sel[i] = inner + " AS " + col
+		outNames[i] = a + "." + col
+	}
+	inner := *b
+	inner.sel = sel
+	return "(" + inner.render(nil) + ") " + a, outNames
+}
+
+// stripAlias removes a trailing " AS x" from a select item.
+func stripAlias(s string) string {
+	if i := strings.LastIndex(s, " AS "); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// isPlainIdent reports whether s is usable as a bare SQL identifier.
+func isPlainIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+// sqlExpr renders an engine expression as SQL, resolving column references
+// through names.
+func sqlExpr(e expr.Expr, names []string) (string, error) {
+	switch x := e.(type) {
+	case *expr.ColRef:
+		if x.Idx < 0 || x.Idx >= len(names) {
+			return "", fmt.Errorf("sql: column reference %d out of range", x.Idx)
+		}
+		return names[x.Idx], nil
+	case *expr.Const:
+		return sqlConst(x), nil
+	case *expr.Cmp:
+		l, err := sqlExpr(x.Left, names)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %s %s", l, x.Op, sqlConst(x.Val)), nil
+	case *expr.Between:
+		c, err := sqlExpr(x.Col, names)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s BETWEEN %s AND %s", c, sqlConst(x.Lo), sqlConst(x.Hi)), nil
+	case *expr.InList:
+		c, err := sqlExpr(x.Col, names)
+		if err != nil {
+			return "", err
+		}
+		var vals []string
+		for _, v := range x.Ints {
+			vals = append(vals, fmt.Sprintf("%d", v))
+		}
+		for _, v := range x.Strs {
+			vals = append(vals, sqlString(v))
+		}
+		return fmt.Sprintf("%s IN (%s)", c, strings.Join(vals, ", ")), nil
+	case *expr.Like:
+		c, err := sqlExpr(x.Col, names)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s LIKE %s", c, sqlString(x.Pattern)), nil
+	case *expr.ColCmp:
+		l, err := sqlExpr(x.Left, names)
+		if err != nil {
+			return "", err
+		}
+		r, err := sqlExpr(x.Right, names)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %s %s", l, x.Op, r), nil
+	case *expr.Or:
+		l, err := sqlExpr(x.Left, names)
+		if err != nil {
+			return "", err
+		}
+		r, err := sqlExpr(x.Right, names)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s OR %s)", l, r), nil
+	case *expr.Arith:
+		l, err := sqlExpr(x.Left, names)
+		if err != nil {
+			return "", err
+		}
+		r, err := sqlExpr(x.Right, names)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", l, x.Op, r), nil
+	default:
+		return "", fmt.Errorf("sql: cannot unparse expression %T", e)
+	}
+}
+
+func sqlConst(c *expr.Const) string {
+	switch c.Typ {
+	case storage.Int64:
+		return fmt.Sprintf("%d", c.I)
+	case storage.Float64:
+		return fmt.Sprintf("%g", c.F)
+	default:
+		return sqlString(c.S)
+	}
+}
+
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

@@ -1,0 +1,144 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+	"t3/internal/workload"
+)
+
+// execRows runs a plan and returns a canonical multiset fingerprint of the
+// result rows.
+func execRows(t *testing.T, root *plan.Node) []string {
+	t.Helper()
+	res, err := exec.Run(root, false)
+	if err != nil {
+		t.Fatalf("execution: %v", err)
+	}
+	rows := make([]string, res.Rows)
+	for i := 0; i < res.Rows; i++ {
+		var parts []string
+		for _, c := range res.Output.Cols {
+			switch {
+			case c.Ints != nil:
+				parts = append(parts, fmt.Sprintf("%d", c.Ints[i]))
+			case c.Flts != nil:
+				// Limited precision so reassociation differences across
+				// equivalent plans do not flag false mismatches.
+				parts = append(parts, fmt.Sprintf("%.6g", c.Flts[i]))
+			default:
+				parts = append(parts, c.Strs[i])
+			}
+		}
+		rows[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func TestUnparseRoundtripThroughParser(t *testing.T) {
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_unp", 0.01, 12))
+	pl := NewPlanner(in.DB, in.Stats)
+	queries := []string{
+		"SELECT id, o_totalprice FROM orders WHERE o_totalprice > 300000",
+		"SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment ORDER BY n DESC",
+		`SELECT o.o_orderpriority, SUM(l.l_extendedprice) AS s
+		 FROM orders o JOIN lineitem l ON l.l_orderkey = o.id
+		 WHERE l.l_quantity < 25 GROUP BY o.o_orderpriority`,
+		"SELECT id FROM part WHERE p_size BETWEEN 10 AND 20 AND p_brand LIKE 'b%' LIMIT 50",
+		"SELECT id FROM supplier WHERE s_acctbal < 0 OR s_acctbal > 9000",
+	}
+	for _, q := range queries {
+		p1, err := pl.PlanString(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		sqlText, err := Unparse(p1)
+		if err != nil {
+			t.Fatalf("%s: unparse: %v", q, err)
+		}
+		p2, err := pl.PlanString(sqlText)
+		if err != nil {
+			t.Fatalf("unparsed SQL does not re-plan: %v\n%s", err, sqlText)
+		}
+		r1 := execRows(t, p1)
+		r2 := execRows(t, p2)
+		if len(r1) != len(r2) {
+			t.Fatalf("%s: row counts differ %d vs %d\nunparsed: %s", q, len(r1), len(r2), sqlText)
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("%s: row %d differs: %q vs %q\nunparsed: %s", q, i, r1[i], r2[i], sqlText)
+			}
+		}
+	}
+}
+
+func TestUnparseGeneratedWorkload(t *testing.T) {
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_unp2", 0.01, 13))
+	qs := workload.GenerateQueries(in, workload.GenConfig{PerGroup: 2, Seed: 6})
+	unparsed := 0
+	for _, q := range qs {
+		sqlText, err := Unparse(q.Root)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if !strings.HasPrefix(sqlText, "SELECT ") || !strings.Contains(sqlText, " FROM ") {
+			t.Fatalf("%s: implausible SQL %q", q.Name, sqlText)
+		}
+		unparsed++
+	}
+	if unparsed < 20 {
+		t.Fatalf("only %d queries unparsed", unparsed)
+	}
+}
+
+func TestUnparseFixedBenchmarks(t *testing.T) {
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_unp3", 0.01, 14))
+	for _, q := range workload.TPCHBenchmarkQueries(in) {
+		sqlText, err := Unparse(q.Root)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if !strings.Contains(sqlText, "SELECT") {
+			t.Fatalf("%s: %q", q.Name, sqlText)
+		}
+	}
+	// Q5's rendering shows the paper's folded IN/BETWEEN predicates.
+	var q5 *workload.Query
+	for _, q := range workload.TPCHBenchmarkQueries(in) {
+		if strings.HasSuffix(q.Name, "/q5") {
+			q5 = q
+		}
+	}
+	sqlText, err := Unparse(q5.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BETWEEN 8 AND 21", "IN (8, 9, 12, 18, 21)", "GROUP BY", "ORDER BY"} {
+		if !strings.Contains(sqlText, want) {
+			t.Errorf("q5 SQL missing %q:\n%s", want, sqlText)
+		}
+	}
+}
+
+func TestUnparseWindow(t *testing.T) {
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_unp4", 0.01, 15))
+	var q18 *workload.Query
+	for _, q := range workload.TPCHBenchmarkQueries(in) {
+		if strings.HasSuffix(q.Name, "/q18") {
+			q18 = q
+		}
+	}
+	sqlText, err := Unparse(q18.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sqlText, "RANK() OVER (PARTITION BY") {
+		t.Errorf("window rendering missing: %s", sqlText)
+	}
+}

@@ -1,0 +1,104 @@
+// Package stage implements a hierarchical query-time predictor modeled on
+// Amazon Redshift's Stage (Wu et al., 2024), which the paper uses as its
+// latency comparison point (Tables 1 and 2): an exact-plan cache answers
+// repeated queries in nanoseconds, a local decision-tree model covers simple
+// queries in microseconds, and a neural network handles the rest at high
+// latency. T3's argument is that a single compiled-tree model makes this
+// hierarchy unnecessary.
+package stage
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"t3/internal/baselines"
+	"t3/internal/engine/plan"
+	"t3/internal/zeroshot"
+)
+
+// Source identifies which tier produced a prediction.
+type Source uint8
+
+// Prediction sources.
+const (
+	// FromCache means the exact plan was seen before.
+	FromCache Source = iota
+	// FromDT means the decision-tree tier answered.
+	FromDT
+	// FromNN means the neural-network tier answered.
+	FromNN
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case FromCache:
+		return "cache"
+	case FromDT:
+		return "dt"
+	default:
+		return "nn"
+	}
+}
+
+// Predictor is the cache → DT → NN hierarchy.
+type Predictor struct {
+	cache map[uint64]float64
+	dt    *baselines.PerQuery
+	nn    *zeroshot.Model
+	// MaxDTPipelines is the escalation policy: plans with more pipelines
+	// are considered complex and routed to the NN tier.
+	MaxDTPipelines int
+}
+
+// New builds a hierarchy from its tiers.
+func New(dt *baselines.PerQuery, nn *zeroshot.Model, maxDTPipelines int) *Predictor {
+	if maxDTPipelines <= 0 {
+		maxDTPipelines = 4
+	}
+	return &Predictor{
+		cache:          make(map[uint64]float64),
+		dt:             dt,
+		nn:             nn,
+		MaxDTPipelines: maxDTPipelines,
+	}
+}
+
+// Predict returns the predicted execution time in seconds and the tier that
+// produced it.
+func (p *Predictor) Predict(root *plan.Node, mode plan.CardMode) (float64, Source) {
+	h := PlanHash(root, mode)
+	if v, ok := p.cache[h]; ok {
+		return v, FromCache
+	}
+	if len(plan.Decompose(root)) <= p.MaxDTPipelines {
+		return p.dt.PredictSeconds(root, mode), FromDT
+	}
+	return p.nn.PredictSeconds(root, mode), FromNN
+}
+
+// Observe records an executed query's measured time, as Redshift's history
+// cache does, so repeated submissions hit the cache tier.
+func (p *Predictor) Observe(root *plan.Node, mode plan.CardMode, seconds float64) {
+	p.cache[PlanHash(root, mode)] = seconds
+}
+
+// CacheSize returns the number of cached plans.
+func (p *Predictor) CacheSize() int { return len(p.cache) }
+
+// PlanHash computes a structural hash of an annotated plan: operator types,
+// table names, predicate texts, and cardinalities.
+func PlanHash(root *plan.Node, mode plan.CardMode) uint64 {
+	h := fnv.New64a()
+	root.Walk(func(n *plan.Node) {
+		fmt.Fprintf(h, "%d|%s|%.0f|", n.Op, n.TableName, n.OutCard.Get(mode))
+		for _, pr := range n.Predicates {
+			h.Write([]byte(pr.String()))
+			h.Write([]byte{';'})
+		}
+		if n.FilterPred != nil {
+			h.Write([]byte(n.FilterPred.String()))
+		}
+	})
+	return h.Sum64()
+}

@@ -1,0 +1,30 @@
+// Package testutil provides shared fixtures for tests: a small benchmarked
+// corpus built once per test binary.
+package testutil
+
+import (
+	"sync"
+	"testing"
+
+	"t3/internal/benchdata"
+)
+
+var (
+	once   sync.Once
+	corpus *benchdata.Corpus
+	err    error
+)
+
+// SmallCorpus returns a tiny shared corpus (≈20 train instances + 3 TPC-DS
+// test instances at scale 0.05). The corpus is built once per test binary.
+func SmallCorpus(t *testing.T) *benchdata.Corpus {
+	t.Helper()
+	once.Do(func() {
+		cfg := benchdata.Config{Scale: 0.05, PerGroup: 2, Runs: 3, Seed: 5, ReleaseTables: true}
+		corpus, err = benchdata.BuildCorpus(cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}

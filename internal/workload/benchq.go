@@ -1,0 +1,389 @@
+package workload
+
+import (
+	"fmt"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+)
+
+// TPCHBenchmarkQueries returns hand-written TPC-H-like queries over a
+// TPC-H-lite instance, including the paper's running example Q5 (Figure 2,
+// Listings 2-4). These act as "Fixed" benchmark queries for the TPC-H
+// training instances.
+func TPCHBenchmarkQueries(in *Instance) []*Query {
+	var qs []*Query
+	add := func(name string, root *plan.Node) {
+		qs = append(qs, &Query{Name: in.Name + "/" + name, Group: GroupFixed, Instance: in.Name, Root: root})
+	}
+
+	// Q1-like: scan lineitem with a date filter, aggregate by quantity
+	// bucket-ish columns, order by group.
+	add("q1", in.Scan("lineitem", []string{"l_quantity", "l_extendedprice", "l_discount", "l_shipdate"},
+		CmpP(expr.Le, "l_shipdate", Int(11200))).
+		Map([]string{"disc_price"}, func(r Ref) []expr.ValueExpr {
+			return []expr.ValueExpr{expr.NewArith(expr.Mul, r("lineitem.l_extendedprice"),
+				expr.NewArith(expr.Sub, expr.ConstFloat(1), r("lineitem.l_discount")))}
+		}).
+		GroupBy([]string{"lineitem.l_quantity"},
+			AggSpec{Fn: plan.AggSum, Col: "disc_price", Name: "sum_disc"},
+			AggSpec{Fn: plan.AggAvg, Col: "lineitem.l_extendedprice", Name: "avg_price"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"}).
+		Sort([]string{"lineitem.l_quantity"}, []bool{false}).
+		Build())
+
+	// Q3-like: customer x orders x lineitem with segment and date filters,
+	// top revenue.
+	cust := in.Scan("customer", []string{"id", "c_mktsegment"},
+		LikeP("c_mktsegment", "%a%"))
+	ord := in.Scan("orders", []string{"id", "o_custkey", "o_orderdate"},
+		CmpP(expr.Lt, "o_orderdate", Int(9500)))
+	q3 := in.Scan("lineitem", []string{"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"},
+		CmpP(expr.Gt, "l_shipdate", Int(9500)))
+	ordJoined := ord.JoinBuild(cust, "customer.id", "orders.o_custkey")
+	q3.JoinBuild(ordJoined, "orders.id", "lineitem.l_orderkey", "orders.o_orderdate").
+		Map([]string{"revenue"}, func(r Ref) []expr.ValueExpr {
+			return []expr.ValueExpr{expr.NewArith(expr.Mul, r("lineitem.l_extendedprice"),
+				expr.NewArith(expr.Sub, expr.ConstFloat(1), r("lineitem.l_discount")))}
+		}).
+		GroupBy([]string{"lineitem.l_orderkey", "orders.o_orderdate"},
+			AggSpec{Fn: plan.AggSum, Col: "revenue", Name: "rev"}).
+		Sort([]string{"rev"}, []bool{true}).
+		Limit(10)
+	add("q3", q3.Build())
+
+	// Q5-like (the paper's running example): Umbra folds the
+	// nation/region joins into IN/BETWEEN expressions on nation keys.
+	supp := in.Scan("supplier", []string{"id", "s_nationkey"},
+		BetweenP("s_nationkey", Int(8), Int(21)),
+		InIntsP("s_nationkey", 8, 9, 12, 18, 21))
+	cust5 := in.Scan("customer", []string{"id", "c_nationkey"},
+		BetweenP("c_nationkey", Int(8), Int(21)),
+		InIntsP("c_nationkey", 8, 9, 12, 18, 21))
+	ord5 := in.Scan("orders", []string{"id", "o_custkey", "o_orderdate"},
+		BetweenP("o_orderdate", Int(8766), Int(9131))).
+		JoinBuild(cust5, "customer.id", "orders.o_custkey", "customer.c_nationkey")
+	q5 := in.Scan("lineitem", []string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}).
+		JoinBuild(ord5, "orders.id", "lineitem.l_orderkey", "customer.c_nationkey").
+		JoinBuild(supp, "supplier.id", "lineitem.l_suppkey", "supplier.s_nationkey").
+		Filter(func(r Ref) expr.BoolExpr {
+			return expr.NewColCmp(expr.Eq, r("customer.c_nationkey"), r("supplier.s_nationkey"))
+		}).
+		Map([]string{"revenue"}, func(r Ref) []expr.ValueExpr {
+			return []expr.ValueExpr{expr.NewArith(expr.Mul, r("lineitem.l_extendedprice"),
+				expr.NewArith(expr.Sub, expr.ConstFloat(1), r("lineitem.l_discount")))}
+		}).
+		GroupBy([]string{"supplier.s_nationkey"}, AggSpec{Fn: plan.AggSum, Col: "revenue", Name: "revenue"}).
+		Sort([]string{"revenue"}, []bool{true})
+	add("q5", q5.Build())
+
+	// Q6-like: pure selective scan aggregation.
+	add("q6", in.Scan("lineitem", []string{"l_extendedprice", "l_discount", "l_quantity", "l_shipdate"},
+		BetweenP("l_shipdate", Int(8766), Int(9131)),
+		BetweenP("l_discount", Float(0.05), Float(0.07)),
+		CmpP(expr.Lt, "l_quantity", Int(24))).
+		Map([]string{"rev"}, func(r Ref) []expr.ValueExpr {
+			return []expr.ValueExpr{expr.NewArith(expr.Mul, r("lineitem.l_extendedprice"), r("lineitem.l_discount"))}
+		}).
+		GroupBy(nil, AggSpec{Fn: plan.AggSum, Col: "rev", Name: "revenue"}).
+		Build())
+
+	// Q10-ish: customer returns by acctbal, joined through orders/lineitem.
+	cust10 := in.Scan("customer", []string{"id", "c_acctbal", "c_nationkey"})
+	ord10 := in.Scan("orders", []string{"id", "o_custkey", "o_orderdate"},
+		BetweenP("o_orderdate", Int(9100), Int(9200))).
+		JoinBuild(cust10, "customer.id", "orders.o_custkey", "customer.c_acctbal", "customer.c_nationkey")
+	q10 := in.Scan("lineitem", []string{"l_orderkey", "l_extendedprice", "l_discount"}).
+		JoinBuild(ord10, "orders.id", "lineitem.l_orderkey", "customer.c_acctbal", "customer.c_nationkey").
+		GroupBy([]string{"customer.c_nationkey"},
+			AggSpec{Fn: plan.AggSum, Col: "lineitem.l_extendedprice", Name: "total"},
+			AggSpec{Fn: plan.AggMax, Col: "customer.c_acctbal", Name: "max_bal"}).
+		Sort([]string{"total"}, []bool{true}).
+		Limit(20)
+	add("q10", q10.Build())
+
+	// Q12-ish: orders priority counting by lineitem ship mode-ish filter.
+	ord12 := in.Scan("orders", []string{"id", "o_orderpriority"})
+	q12 := in.Scan("lineitem", []string{"l_orderkey", "l_shipdate"},
+		BetweenP("l_shipdate", Int(9496), Int(9861))).
+		JoinBuild(ord12, "orders.id", "lineitem.l_orderkey", "orders.o_orderpriority").
+		GroupBy([]string{"orders.o_orderpriority"}, AggSpec{Fn: plan.AggCount, Name: "cnt"}).
+		Sort([]string{"orders.o_orderpriority"}, []bool{false})
+	add("q12", q12.Build())
+
+	// Q18-ish: big customers via window over order totals.
+	q18 := in.Scan("orders", []string{"id", "o_custkey", "o_totalprice"},
+		CmpP(expr.Gt, "o_totalprice", Float(400000))).
+		Window(plan.WinRank, []string{"orders.o_custkey"}, []string{"orders.o_totalprice"}, "", "rnk").
+		Filter(func(r Ref) expr.BoolExpr {
+			return expr.NewCmp(expr.Le, r("rnk"), expr.ConstInt(3))
+		})
+	add("q18", q18.Build())
+
+	// Partsupp availability: part x partsupp x supplier join aggregation.
+	part := in.Scan("part", []string{"id", "p_size", "p_brand"},
+		CmpP(expr.Le, "p_size", Int(15)))
+	supp2 := in.Scan("supplier", []string{"id", "s_acctbal"})
+	q16 := in.Scan("partsupp", []string{"ps_partkey", "ps_suppkey", "ps_availqty"}).
+		JoinBuild(part, "part.id", "partsupp.ps_partkey", "part.p_brand").
+		JoinBuild(supp2, "supplier.id", "partsupp.ps_suppkey", "supplier.s_acctbal").
+		GroupBy([]string{"part.p_brand"},
+			AggSpec{Fn: plan.AggSum, Col: "partsupp.ps_availqty", Name: "avail"},
+			AggSpec{Fn: plan.AggAvg, Col: "supplier.s_acctbal", Name: "bal"}).
+		Sort([]string{"avail"}, []bool{true})
+	add("q16", q16.Build())
+
+	return qs
+}
+
+// TPCDSBenchmarkQueries returns the fixed TPC-DS-like benchmark query set
+// over a TPC-DS-lite instance — the paper's "TPC-DS Benchmark Queries" rows
+// of Table 4 and the "Fixed" bars of Figure 8.
+func TPCDSBenchmarkQueries(in *Instance) []*Query {
+	var qs []*Query
+	add := func(name string, root *plan.Node) {
+		qs = append(qs, &Query{Name: in.Name + "/" + name, Group: GroupFixed, Instance: in.Name, Root: root})
+	}
+
+	// q1: sales by item category for one year.
+	date := in.Scan("date_dim", []string{"id", "d_year"}, CmpP(expr.Eq, "d_year", Int(2000)))
+	item := in.Scan("item", []string{"id", "i_category"})
+	q := in.Scan("store_sales", []string{"ss_sold_date_sk", "ss_item_sk", "ss_sales_price"}).
+		JoinBuild(date, "date_dim.id", "store_sales.ss_sold_date_sk").
+		JoinBuild(item, "item.id", "store_sales.ss_item_sk", "item.i_category").
+		GroupBy([]string{"item.i_category"}, AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_sales_price", Name: "sales"}).
+		Sort([]string{"sales"}, []bool{true})
+	add("ds_q1", q.Build())
+
+	// q2: monthly sales totals.
+	date2 := in.Scan("date_dim", []string{"id", "d_year", "d_moy"}, BetweenP("d_year", Int(1999), Int(2001)))
+	q2 := in.Scan("store_sales", []string{"ss_sold_date_sk", "ss_net_profit"}).
+		JoinBuild(date2, "date_dim.id", "store_sales.ss_sold_date_sk", "date_dim.d_year", "date_dim.d_moy").
+		GroupBy([]string{"date_dim.d_year", "date_dim.d_moy"},
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_net_profit", Name: "profit"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"}).
+		Sort([]string{"date_dim.d_year", "date_dim.d_moy"}, []bool{false, false})
+	add("ds_q2", q2.Build())
+
+	// q3: store sales by state with price filter.
+	store := in.Scan("store", []string{"id", "s_state"})
+	q3 := in.Scan("store_sales", []string{"ss_store_sk", "ss_sales_price", "ss_quantity"},
+		CmpP(expr.Gt, "ss_sales_price", Float(100))).
+		JoinBuild(store, "store.id", "store_sales.ss_store_sk", "store.s_state").
+		GroupBy([]string{"store.s_state"},
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_quantity", Name: "qty"}).
+		Sort([]string{"qty"}, []bool{true})
+	add("ds_q3", q3.Build())
+
+	// q4: customer purchase profile: preferred customers, avg price.
+	custQ := in.Scan("customer", []string{"id", "c_preferred", "c_birth_year"},
+		CmpP(expr.Eq, "c_preferred", Int(1)))
+	q4 := in.Scan("store_sales", []string{"ss_customer_sk", "ss_sales_price"}).
+		JoinBuild(custQ, "customer.id", "store_sales.ss_customer_sk", "customer.c_birth_year").
+		GroupBy([]string{"customer.c_birth_year"},
+			AggSpec{Fn: plan.AggAvg, Col: "store_sales.ss_sales_price", Name: "avg_price"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"}).
+		Sort([]string{"customer.c_birth_year"}, []bool{false})
+	add("ds_q4", q4.Build())
+
+	// q5: returns vs sales per item (two fact tables).
+	item5 := in.Scan("item", []string{"id", "i_brand"})
+	ret := in.Scan("store_returns", []string{"sr_item_sk", "sr_return_amt"}).
+		JoinBuild(item5, "item.id", "store_returns.sr_item_sk", "item.i_brand").
+		GroupBy([]string{"item.i_brand"}, AggSpec{Fn: plan.AggSum, Col: "store_returns.sr_return_amt", Name: "returned"}).
+		Sort([]string{"returned"}, []bool{true}).
+		Limit(25)
+	add("ds_q5", ret.Build())
+
+	// q6: web sales by item category with price band.
+	item6 := in.Scan("item", []string{"id", "i_category", "i_current_price"},
+		BetweenP("i_current_price", Float(20), Float(70)))
+	q6 := in.Scan("web_sales", []string{"ws_item_sk", "ws_sales_price"}).
+		JoinBuild(item6, "item.id", "web_sales.ws_item_sk", "item.i_category").
+		GroupBy([]string{"item.i_category"}, AggSpec{Fn: plan.AggSum, Col: "web_sales.ws_sales_price", Name: "sales"}).
+		Sort([]string{"sales"}, []bool{true})
+	add("ds_q6", q6.Build())
+
+	// q7: promotion effect: sales by promo channel.
+	promo := in.Scan("promotion", []string{"id", "p_channel"})
+	q7 := in.Scan("store_sales", []string{"ss_promo_sk", "ss_quantity", "ss_sales_price"}).
+		JoinBuild(promo, "promotion.id", "store_sales.ss_promo_sk", "promotion.p_channel").
+		GroupBy([]string{"promotion.p_channel"},
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_sales_price", Name: "sales"},
+			AggSpec{Fn: plan.AggAvg, Col: "store_sales.ss_quantity", Name: "avg_qty"})
+	add("ds_q7", q7.Build())
+
+	// q8: cross-channel customers: store + web sales joined via customer.
+	webAgg := in.Scan("web_sales", []string{"ws_customer_sk", "ws_sales_price"}).
+		GroupBy([]string{"web_sales.ws_customer_sk"},
+			AggSpec{Fn: plan.AggSum, Col: "web_sales.ws_sales_price", Name: "web_total"})
+	q8 := in.Scan("store_sales", []string{"ss_customer_sk", "ss_sales_price"}).
+		JoinBuild(webAgg, "web_sales.ws_customer_sk", "store_sales.ss_customer_sk", "web_total").
+		GroupBy(nil,
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_sales_price", Name: "store_total"},
+			AggSpec{Fn: plan.AggSum, Col: "web_total", Name: "web_total_sum"},
+			AggSpec{Fn: plan.AggCount, Name: "pairs"})
+	add("ds_q8", q8.Build())
+
+	// q9: quantity band counts (pure scan aggregation with IN).
+	q9 := in.Scan("store_sales", []string{"ss_quantity", "ss_net_profit"},
+		InIntsP("ss_quantity", 1, 2, 3, 4, 5, 10, 20, 40, 60, 80)).
+		GroupBy([]string{"store_sales.ss_quantity"},
+			AggSpec{Fn: plan.AggAvg, Col: "store_sales.ss_net_profit", Name: "profit"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"}).
+		Sort([]string{"store_sales.ss_quantity"}, []bool{false})
+	add("ds_q9", q9.Build())
+
+	// q10: day-of-week shopping pattern with window ranking.
+	date10 := in.Scan("date_dim", []string{"id", "d_dow"})
+	q10 := in.Scan("store_sales", []string{"ss_sold_date_sk", "ss_sales_price"}).
+		JoinBuild(date10, "date_dim.id", "store_sales.ss_sold_date_sk", "date_dim.d_dow").
+		GroupBy([]string{"date_dim.d_dow"}, AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_sales_price", Name: "sales"}).
+		Window(plan.WinRank, nil, []string{"sales"}, "", "rnk").
+		Sort([]string{"rnk"}, []bool{false})
+	add("ds_q10", q10.Build())
+
+	// q11: high-volume items per store.
+	item11 := in.Scan("item", []string{"id", "i_brand"})
+	store11 := in.Scan("store", []string{"id", "s_state"})
+	q11 := in.Scan("store_sales", []string{"ss_item_sk", "ss_store_sk", "ss_quantity"},
+		CmpP(expr.Ge, "ss_quantity", Int(50))).
+		JoinBuild(item11, "item.id", "store_sales.ss_item_sk", "item.i_brand").
+		JoinBuild(store11, "store.id", "store_sales.ss_store_sk", "store.s_state").
+		GroupBy([]string{"item.i_brand", "store.s_state"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"}).
+		Sort([]string{"cnt"}, []bool{true}).
+		Limit(100)
+	add("ds_q11", q11.Build())
+
+	// q12: selective scan with LIKE on category.
+	q12 := in.Scan("item", []string{"id", "i_category", "i_current_price"},
+		LikeP("i_category", "%a%"),
+		CmpP(expr.Gt, "i_current_price", Float(50))).
+		GroupBy([]string{"item.i_category"},
+			AggSpec{Fn: plan.AggAvg, Col: "item.i_current_price", Name: "avg_price"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"})
+	add("ds_q12", q12.Build())
+
+	// q13: five-way star join: sales with date, item, store, and promotion.
+	date13 := in.Scan("date_dim", []string{"id", "d_year"}, InIntsP("d_year", 1999, 2000, 2001))
+	item13 := in.Scan("item", []string{"id", "i_category"})
+	store13 := in.Scan("store", []string{"id", "s_state"})
+	promo13 := in.Scan("promotion", []string{"id", "p_channel"})
+	q13 := in.Scan("store_sales", []string{"ss_sold_date_sk", "ss_item_sk", "ss_store_sk", "ss_promo_sk", "ss_net_profit"}).
+		JoinBuild(date13, "date_dim.id", "store_sales.ss_sold_date_sk").
+		JoinBuild(item13, "item.id", "store_sales.ss_item_sk", "item.i_category").
+		JoinBuild(store13, "store.id", "store_sales.ss_store_sk", "store.s_state").
+		JoinBuild(promo13, "promotion.id", "store_sales.ss_promo_sk", "promotion.p_channel").
+		GroupBy([]string{"item.i_category", "promotion.p_channel"},
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_net_profit", Name: "profit"}).
+		Sort([]string{"profit"}, []bool{true}).
+		Limit(50)
+	add("ds_q13", q13.Build())
+
+	// q14: returned fraction per customer cohort (two fact tables via
+	// customer).
+	retAgg := in.Scan("store_returns", []string{"sr_customer_sk", "sr_return_amt"}).
+		GroupBy([]string{"store_returns.sr_customer_sk"},
+			AggSpec{Fn: plan.AggSum, Col: "store_returns.sr_return_amt", Name: "returned"})
+	q14 := in.Scan("store_sales", []string{"ss_customer_sk", "ss_sales_price"}).
+		JoinBuild(retAgg, "store_returns.sr_customer_sk", "store_sales.ss_customer_sk", "returned").
+		GroupBy([]string{"store_sales.ss_customer_sk"},
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_sales_price", Name: "bought"},
+			AggSpec{Fn: plan.AggMax, Col: "returned", Name: "ret"}).
+		Sort([]string{"ret"}, []bool{true}).
+		Limit(100)
+	add("ds_q14", q14.Build())
+
+	// q15: revenue per item ranked within category (window over join).
+	item15 := in.Scan("item", []string{"id", "i_category", "i_brand"})
+	q15 := in.Scan("store_sales", []string{"ss_item_sk", "ss_sales_price"}).
+		JoinBuild(item15, "item.id", "store_sales.ss_item_sk", "item.i_category", "item.i_brand").
+		GroupBy([]string{"item.i_category", "item.i_brand"},
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_sales_price", Name: "rev"}).
+		Window(plan.WinRank, []string{"item.i_category"}, []string{"rev"}, "", "rnk").
+		Filter(func(r Ref) expr.BoolExpr {
+			return expr.NewCmp(expr.Le, r("rnk"), expr.ConstInt(3))
+		}).
+		Sort([]string{"item.i_category"}, []bool{false})
+	add("ds_q15", q15.Build())
+
+	// q16: young preferred customers' web spending.
+	cust16 := in.Scan("customer", []string{"id", "c_birth_year", "c_preferred"},
+		CmpP(expr.Ge, "c_birth_year", Int(1980)),
+		CmpP(expr.Eq, "c_preferred", Int(1)))
+	q16 := in.Scan("web_sales", []string{"ws_customer_sk", "ws_sales_price"}).
+		JoinBuild(cust16, "customer.id", "web_sales.ws_customer_sk").
+		GroupBy(nil,
+			AggSpec{Fn: plan.AggSum, Col: "web_sales.ws_sales_price", Name: "total"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"},
+			AggSpec{Fn: plan.AggAvg, Col: "web_sales.ws_sales_price", Name: "avg_price"})
+	add("ds_q16", q16.Build())
+
+	// q17: weekday vs weekend quantity comparison.
+	date17 := in.Scan("date_dim", []string{"id", "d_dow"}, InIntsP("d_dow", 0, 6))
+	q17 := in.Scan("store_sales", []string{"ss_sold_date_sk", "ss_quantity"}).
+		JoinBuild(date17, "date_dim.id", "store_sales.ss_sold_date_sk", "date_dim.d_dow").
+		GroupBy([]string{"date_dim.d_dow"},
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_quantity", Name: "qty"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"}).
+		Sort([]string{"date_dim.d_dow"}, []bool{false})
+	add("ds_q17", q17.Build())
+
+	// q18: discount-band profitability (pure scan with BETWEEN bands).
+	q18 := in.Scan("store_sales", []string{"ss_sales_price", "ss_quantity", "ss_net_profit"},
+		BetweenP("ss_sales_price", Float(50), Float(150)),
+		BetweenP("ss_quantity", Int(10), Int(60))).
+		Map([]string{"margin"}, func(r Ref) []expr.ValueExpr {
+			return []expr.ValueExpr{expr.NewArith(expr.Div, r("store_sales.ss_net_profit"),
+				expr.NewArith(expr.Add, r("store_sales.ss_sales_price"), expr.ConstFloat(1)))}
+		}).
+		GroupBy(nil,
+			AggSpec{Fn: plan.AggAvg, Col: "margin", Name: "avg_margin"},
+			AggSpec{Fn: plan.AggCount, Name: "cnt"})
+	add("ds_q18", q18.Build())
+
+	// q19: store channel vs web channel per item brand.
+	itemW := in.Scan("item", []string{"id", "i_brand"})
+	webRev := in.Scan("web_sales", []string{"ws_item_sk", "ws_sales_price"}).
+		JoinBuild(itemW, "item.id", "web_sales.ws_item_sk", "item.i_brand").
+		GroupBy([]string{"item.i_brand"},
+			AggSpec{Fn: plan.AggSum, Col: "web_sales.ws_sales_price", Name: "web_rev"})
+	q19 := in.Scan("store_sales", []string{"ss_item_sk", "ss_sales_price"}).
+		JoinBuild(in.Scan("item", []string{"id", "i_brand"}), "item.id", "store_sales.ss_item_sk", "item.i_brand").
+		GroupBy([]string{"item.i_brand"},
+			AggSpec{Fn: plan.AggSum, Col: "store_sales.ss_sales_price", Name: "store_rev"}).
+		JoinBuild(webRev, "item.i_brand", "item.i_brand", "web_rev").
+		Sort([]string{"store_rev"}, []bool{true}).
+		Limit(40)
+	add("ds_q19", q19.Build())
+
+	// q20: heavy sort: all sales ordered by price (stresses the sort
+	// operator's nonlinearity).
+	q20 := in.Scan("store_sales", []string{"id", "ss_sales_price", "ss_quantity"}).
+		Sort([]string{"store_sales.ss_sales_price", "store_sales.ss_quantity"}, []bool{true, false}).
+		Limit(500)
+	add("ds_q20", q20.Build())
+
+	return qs
+}
+
+// JOBQueries deterministically generates 113 JOB-like queries over an
+// imdb-lite instance: selective scans, equi-joins along foreign keys, and a
+// final aggregation to a single tuple — the query pattern the paper
+// describes for JOB-full and uses for the Zero Shot comparison (Figure 10)
+// and the join-ordering experiments (Tables 5 and 6).
+func JOBQueries(in *Instance) []*Query {
+	specs := JOBJoinSpecs(in)
+	qs := make([]*Query, 0, len(specs))
+	for _, sp := range specs {
+		root := sp.LeftDeepPlan(in)
+		qs = append(qs, &Query{
+			Name:     fmt.Sprintf("%s/job_%s", in.Name, sp.Name),
+			Group:    GroupFixed,
+			Instance: in.Name,
+			Root:     root,
+		})
+	}
+	return qs
+}

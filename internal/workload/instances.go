@@ -1,0 +1,347 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"t3/internal/engine/storage"
+)
+
+// TPCHSpec returns a scaled-down TPC-H schema ("TPC-H-lite"). scale = 1
+// yields a lineitem of 600k rows (1% of TPC-H sf 1), preserving the relative
+// table proportions and foreign keys of the benchmark.
+func TPCHSpec(name string, scale float64, seed int64) InstanceSpec {
+	n := func(base int) int {
+		r := int(float64(base) * scale)
+		if r < 1 {
+			r = 1
+		}
+		return r
+	}
+	return InstanceSpec{
+		Name: name,
+		Seed: seed,
+		Tables: []TableSpec{
+			{Name: "region", Rows: 5, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "r_name", Kind: storage.String, Dist: DistWords, NDistinct: 5},
+			}},
+			{Name: "nation", Rows: 25, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "n_regionkey", Kind: storage.Int64, Dist: DistFK, FKTable: "region"},
+				{Name: "n_name", Kind: storage.String, Dist: DistWords, NDistinct: 25},
+			}},
+			{Name: "supplier", Rows: n(1000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "s_nationkey", Kind: storage.Int64, Dist: DistFK, FKTable: "nation"},
+				{Name: "s_acctbal", Kind: storage.Float64, Dist: DistUniformFloat, Min: -999, Max: 9999},
+				{Name: "s_name", Kind: storage.String, Dist: DistWords, NDistinct: 200},
+			}},
+			{Name: "part", Rows: n(20000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "p_size", Kind: storage.Int64, Dist: DistUniformInt, Min: 1, Max: 50},
+				{Name: "p_retailprice", Kind: storage.Float64, Dist: DistUniformFloat, Min: 900, Max: 2100},
+				{Name: "p_brand", Kind: storage.String, Dist: DistWords, NDistinct: 25},
+				{Name: "p_type", Kind: storage.String, Dist: DistWords, NDistinct: 150},
+			}},
+			{Name: "partsupp", Rows: n(80000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "ps_partkey", Kind: storage.Int64, Dist: DistFK, FKTable: "part"},
+				{Name: "ps_suppkey", Kind: storage.Int64, Dist: DistFK, FKTable: "supplier"},
+				{Name: "ps_availqty", Kind: storage.Int64, Dist: DistUniformInt, Min: 1, Max: 9999},
+				{Name: "ps_supplycost", Kind: storage.Float64, Dist: DistUniformFloat, Min: 1, Max: 1000},
+			}},
+			{Name: "customer", Rows: n(15000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "c_nationkey", Kind: storage.Int64, Dist: DistFK, FKTable: "nation"},
+				{Name: "c_acctbal", Kind: storage.Float64, Dist: DistUniformFloat, Min: -999, Max: 9999},
+				{Name: "c_mktsegment", Kind: storage.String, Dist: DistWords, NDistinct: 5},
+			}},
+			{Name: "orders", Rows: n(150000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "o_custkey", Kind: storage.Int64, Dist: DistFK, FKTable: "customer"},
+				{Name: "o_orderdate", Kind: storage.Int64, Dist: DistDate, Min: 8766, Max: 11322},
+				{Name: "o_totalprice", Kind: storage.Float64, Dist: DistUniformFloat, Min: 800, Max: 550000},
+				{Name: "o_orderpriority", Kind: storage.String, Dist: DistWords, NDistinct: 5},
+			}},
+			{Name: "lineitem", Rows: n(600000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "l_orderkey", Kind: storage.Int64, Dist: DistFK, FKTable: "orders"},
+				{Name: "l_partkey", Kind: storage.Int64, Dist: DistFK, FKTable: "part"},
+				{Name: "l_suppkey", Kind: storage.Int64, Dist: DistFK, FKTable: "supplier"},
+				{Name: "l_quantity", Kind: storage.Int64, Dist: DistUniformInt, Min: 1, Max: 50},
+				{Name: "l_extendedprice", Kind: storage.Float64, Dist: DistUniformFloat, Min: 900, Max: 105000},
+				{Name: "l_discount", Kind: storage.Float64, Dist: DistUniformFloat, Min: 0, Max: 0.1},
+				{Name: "l_shipdate", Kind: storage.Int64, Dist: DistDate, Min: 8766, Max: 11322},
+			}},
+		},
+	}
+}
+
+// TPCDSSpec returns a scaled-down TPC-DS core schema ("TPC-DS-lite").
+// scale = 1 yields a store_sales of 10k rows; the paper's test instances use
+// scale factors 1, 10, and 100.
+func TPCDSSpec(name string, scale float64, seed int64) InstanceSpec {
+	n := func(base int) int {
+		r := int(float64(base) * scale)
+		if r < 1 {
+			r = 1
+		}
+		return r
+	}
+	return InstanceSpec{
+		Name: name,
+		Seed: seed,
+		Tables: []TableSpec{
+			{Name: "date_dim", Rows: 2500, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "d_year", Kind: storage.Int64, Dist: DistUniformInt, Min: 1998, Max: 2004},
+				{Name: "d_moy", Kind: storage.Int64, Dist: DistUniformInt, Min: 1, Max: 12},
+				{Name: "d_dow", Kind: storage.Int64, Dist: DistUniformInt, Min: 0, Max: 6},
+			}},
+			{Name: "store", Rows: n(12) + 3, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "s_state", Kind: storage.String, Dist: DistWords, NDistinct: 9},
+				{Name: "s_floor_space", Kind: storage.Int64, Dist: DistUniformInt, Min: 5000000, Max: 10000000},
+			}},
+			{Name: "item", Rows: n(1800) + 100, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "i_category", Kind: storage.String, Dist: DistWords, NDistinct: 10, Skew: 1.3},
+				{Name: "i_brand", Kind: storage.String, Dist: DistWords, NDistinct: 70},
+				{Name: "i_current_price", Kind: storage.Float64, Dist: DistUniformFloat, Min: 0.09, Max: 99.9},
+			}},
+			{Name: "customer", Rows: n(1000) + 200, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "c_birth_year", Kind: storage.Int64, Dist: DistUniformInt, Min: 1924, Max: 1992},
+				{Name: "c_preferred", Kind: storage.Int64, Dist: DistUniformInt, Min: 0, Max: 1},
+			}},
+			{Name: "promotion", Rows: n(3) + 10, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "p_channel", Kind: storage.String, Dist: DistWords, NDistinct: 4},
+			}},
+			{Name: "store_sales", Rows: n(10000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "ss_sold_date_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "date_dim"},
+				{Name: "ss_item_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "item"},
+				{Name: "ss_customer_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "customer"},
+				{Name: "ss_store_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "store"},
+				{Name: "ss_promo_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "promotion"},
+				{Name: "ss_quantity", Kind: storage.Int64, Dist: DistUniformInt, Min: 1, Max: 100},
+				{Name: "ss_sales_price", Kind: storage.Float64, Dist: DistUniformFloat, Min: 0, Max: 200},
+				{Name: "ss_net_profit", Kind: storage.Float64, Dist: DistNormalFloat, Min: 50, Max: 300},
+			}},
+			{Name: "store_returns", Rows: n(1000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "sr_item_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "item"},
+				{Name: "sr_customer_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "customer"},
+				{Name: "sr_return_amt", Kind: storage.Float64, Dist: DistUniformFloat, Min: 0, Max: 18000},
+			}},
+			{Name: "web_sales", Rows: n(7200), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "ws_sold_date_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "date_dim"},
+				{Name: "ws_item_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "item"},
+				{Name: "ws_customer_sk", Kind: storage.Int64, Dist: DistFK, FKTable: "customer"},
+				{Name: "ws_sales_price", Kind: storage.Float64, Dist: DistUniformFloat, Min: 0, Max: 300},
+			}},
+		},
+	}
+}
+
+// IMDBSpec returns a scaled-down IMDb schema ("imdb-lite") matching the
+// join structure of the Join Order Benchmark. scale = 1 yields a title
+// table of 50k rows.
+func IMDBSpec(name string, scale float64, seed int64) InstanceSpec {
+	n := func(base int) int {
+		r := int(float64(base) * scale)
+		if r < 1 {
+			r = 1
+		}
+		return r
+	}
+	return InstanceSpec{
+		Name: name,
+		Seed: seed,
+		Tables: []TableSpec{
+			{Name: "kind_type", Rows: 7, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "kind", Kind: storage.String, Dist: DistWords, NDistinct: 7},
+			}},
+			{Name: "info_type", Rows: 110, Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "it_info", Kind: storage.String, Dist: DistWords, NDistinct: 110},
+			}},
+			{Name: "company_name", Rows: n(6000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "cn_country", Kind: storage.String, Dist: DistWords, NDistinct: 60, Skew: 1.5},
+				{Name: "cn_name", Kind: storage.String, Dist: DistWords, NDistinct: 4000},
+			}},
+			{Name: "keyword", Rows: n(4000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "k_keyword", Kind: storage.String, Dist: DistWords, NDistinct: 3000},
+			}},
+			{Name: "name", Rows: n(40000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "n_gender", Kind: storage.String, Dist: DistWords, NDistinct: 3},
+				{Name: "n_name", Kind: storage.String, Dist: DistWords, NDistinct: 20000},
+			}},
+			{Name: "title", Rows: n(50000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "t_kind_id", Kind: storage.Int64, Dist: DistFK, FKTable: "kind_type"},
+				{Name: "t_production_year", Kind: storage.Int64, Dist: DistUniformInt, Min: 1900, Max: 2008},
+				{Name: "t_title", Kind: storage.String, Dist: DistWords, NDistinct: 30000},
+			}},
+			{Name: "movie_companies", Rows: n(80000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "mc_movie_id", Kind: storage.Int64, Dist: DistFK, FKTable: "title"},
+				{Name: "mc_company_id", Kind: storage.Int64, Dist: DistFK, FKTable: "company_name"},
+			}},
+			{Name: "movie_keyword", Rows: n(120000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "mk_movie_id", Kind: storage.Int64, Dist: DistFK, FKTable: "title"},
+				{Name: "mk_keyword_id", Kind: storage.Int64, Dist: DistFK, FKTable: "keyword"},
+			}},
+			{Name: "movie_info", Rows: n(150000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "mi_movie_id", Kind: storage.Int64, Dist: DistFK, FKTable: "title"},
+				{Name: "mi_info_type_id", Kind: storage.Int64, Dist: DistFK, FKTable: "info_type"},
+				{Name: "mi_note", Kind: storage.String, Dist: DistWords, NDistinct: 500, Skew: 1.4},
+			}},
+			{Name: "cast_info", Rows: n(250000), Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "ci_movie_id", Kind: storage.Int64, Dist: DistFK, FKTable: "title"},
+				{Name: "ci_person_id", Kind: storage.Int64, Dist: DistFK, FKTable: "name"},
+				{Name: "ci_role", Kind: storage.String, Dist: DistWords, NDistinct: 12},
+			}},
+		},
+	}
+}
+
+// syntheticNames are the real-world instances of the zero-shot suite; our
+// data is synthetic but keeps the suite's role of schema/scale diversity.
+var syntheticNames = []string{
+	"airline", "accidents", "baseball", "basketball", "carcinogenesis",
+	"consumer", "credit", "employee", "financial", "fhnk", "geneea",
+	"genome", "hepatitis", "movielens", "seznam", "ssb", "telstra",
+	"walmart",
+}
+
+// SyntheticSpec procedurally derives a varied star/snowflake-ish schema from
+// the instance seed: 3-8 tables, 1k-150k rows, mixed distributions, foreign
+// keys to earlier tables.
+func SyntheticSpec(name string, seed int64, scale float64) InstanceSpec {
+	rng := rand.New(rand.NewSource(seed))
+	numTables := 3 + rng.Intn(6)
+	spec := InstanceSpec{Name: name, Seed: seed + 1}
+	for ti := 0; ti < numTables; ti++ {
+		// Row counts log-uniform-ish in [1k, 150k]; later tables (facts)
+		// larger.
+		base := 1000 * (1 << rng.Intn(8)) // 1k .. 128k
+		if ti == numTables-1 {
+			base *= 2
+		}
+		rows := int(float64(base) * scale)
+		if rows < 50 {
+			rows = 50
+		}
+		t := TableSpec{Name: fmt.Sprintf("%s_t%d", name, ti), Rows: rows}
+		t.Cols = append(t.Cols, ColSpec{Name: "id", Kind: storage.Int64, Dist: DistSeq})
+		// Foreign keys to up to two earlier tables; every non-root table
+		// gets at least one so the instance always has a join graph.
+		fks := 0
+		for p := 0; p < ti && fks < 2; p++ {
+			if rng.Float64() < 0.6 || (fks == 0 && p == ti-1) {
+				parent := spec.Tables[rng.Intn(ti)]
+				skew := 0.0
+				if rng.Float64() < 0.4 {
+					skew = 1.1 + rng.Float64()
+				}
+				t.Cols = append(t.Cols, ColSpec{
+					Name: fmt.Sprintf("fk%d_%s", fks, parent.Name), Kind: storage.Int64,
+					Dist: DistFK, FKTable: parent.Name, Skew: skew,
+				})
+				fks++
+			}
+		}
+		numVals := 2 + rng.Intn(5)
+		for v := 0; v < numVals; v++ {
+			switch rng.Intn(5) {
+			case 0:
+				t.Cols = append(t.Cols, ColSpec{
+					Name: fmt.Sprintf("i%d", v), Kind: storage.Int64, Dist: DistUniformInt,
+					Min: 0, Max: float64(1 + rng.Intn(100000)),
+				})
+			case 1:
+				t.Cols = append(t.Cols, ColSpec{
+					Name: fmt.Sprintf("z%d", v), Kind: storage.Int64, Dist: DistZipfInt,
+					NDistinct: 2 + rng.Intn(1000), Skew: 1.1 + rng.Float64(),
+				})
+			case 2:
+				t.Cols = append(t.Cols, ColSpec{
+					Name: fmt.Sprintf("f%d", v), Kind: storage.Float64, Dist: DistUniformFloat,
+					Min: 0, Max: float64(1 + rng.Intn(10000)),
+				})
+			case 3:
+				t.Cols = append(t.Cols, ColSpec{
+					Name: fmt.Sprintf("n%d", v), Kind: storage.Float64, Dist: DistNormalFloat,
+					Min: float64(rng.Intn(1000)), Max: float64(1 + rng.Intn(200)),
+				})
+			default:
+				skew := 0.0
+				if rng.Float64() < 0.5 {
+					skew = 1.1 + rng.Float64()
+				}
+				t.Cols = append(t.Cols, ColSpec{
+					Name: fmt.Sprintf("s%d", v), Kind: storage.String, Dist: DistWords,
+					NDistinct: 2 + rng.Intn(500), Skew: skew,
+				})
+			}
+		}
+		spec.Tables = append(spec.Tables, t)
+	}
+	return spec
+}
+
+// SuiteConfig sizes the instance suite.
+type SuiteConfig struct {
+	// Scale multiplies all row counts (1 = full default sizes; tests use
+	// much smaller values).
+	Scale float64
+	// Seed drives all generators.
+	Seed int64
+}
+
+// TrainMakers returns lazy constructors for the training instances: three
+// TPC-H-lite scale variants, imdb-lite, and the 18 synthetic real-world
+// stand-ins (≈ the paper's 21 training instances).
+func TrainMakers(cfg SuiteConfig) []Maker {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	makers := []Maker{
+		{Name: "tpch_sf0_1", Make: func() *Instance { return MustGenerate(TPCHSpec("tpch_sf0_1", 0.02*cfg.Scale, cfg.Seed+11)) }},
+		{Name: "tpch_sf0_5", Make: func() *Instance { return MustGenerate(TPCHSpec("tpch_sf0_5", 0.1*cfg.Scale, cfg.Seed+12)) }},
+		{Name: "tpch_sf1", Make: func() *Instance { return MustGenerate(TPCHSpec("tpch_sf1", 0.2*cfg.Scale, cfg.Seed+13)) }},
+		{Name: "imdb", Make: func() *Instance { return MustGenerate(IMDBSpec("imdb", 0.3*cfg.Scale, cfg.Seed+14)) }},
+	}
+	for i, name := range syntheticNames {
+		name := name
+		seed := cfg.Seed + 100 + int64(i)
+		makers = append(makers, Maker{Name: name, Make: func() *Instance {
+			return MustGenerate(SyntheticSpec(name, seed, 0.3*cfg.Scale))
+		}})
+	}
+	return makers
+}
+
+// TestMakers returns lazy constructors for the held-out TPC-DS-lite test
+// instances at scale factors 1, 10, and 100 (paper §4.2).
+func TestMakers(cfg SuiteConfig) []Maker {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	return []Maker{
+		{Name: "tpcds_sf1", Make: func() *Instance { return MustGenerate(TPCDSSpec("tpcds_sf1", 1*cfg.Scale, cfg.Seed+21)) }},
+		{Name: "tpcds_sf10", Make: func() *Instance { return MustGenerate(TPCDSSpec("tpcds_sf10", 10*cfg.Scale, cfg.Seed+22)) }},
+		{Name: "tpcds_sf100", Make: func() *Instance { return MustGenerate(TPCDSSpec("tpcds_sf100", 100*cfg.Scale, cfg.Seed+23)) }},
+	}
+}

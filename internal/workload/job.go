@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// RelSpec is one base relation of a join query: a table scan with pushed
+// predicates.
+type RelSpec struct {
+	Table    string
+	ScanCols []int
+	Preds    []expr.BoolExpr // column refs resolved against ScanCols positions
+}
+
+// Scan builds a fresh scan node for the relation.
+func (r *RelSpec) Scan(in *Instance) *plan.Node {
+	return plan.NewTableScan(in.Table(r.Table), r.ScanCols, r.Preds...)
+}
+
+// EdgeSpec is an equi-join edge between two relations. ACol/BCol are
+// positions within the respective relation's scan schema.
+type EdgeSpec struct {
+	A, B       int
+	ACol, BCol int
+}
+
+// JoinSpec is a join query in optimizer-friendly form: relations plus an
+// equi-join graph. The join-order experiments (§5.5) enumerate plans over
+// this representation.
+type JoinSpec struct {
+	Name  string
+	Rels  []RelSpec
+	Edges []EdgeSpec
+}
+
+// JOBJoinSpecs deterministically generates the 113 JOB-like join queries
+// over an imdb-lite instance.
+func JOBJoinSpecs(in *Instance) []*JoinSpec {
+	specs := make([]*JoinSpec, 0, 113)
+	for i := 0; i < 113; i++ {
+		rng := rand.New(rand.NewSource(int64(7000 + i*37)))
+		sp := genJoinSpec(in, rng, fmt.Sprintf("%da", i+1))
+		if sp != nil {
+			specs = append(specs, sp)
+		}
+	}
+	return specs
+}
+
+// genJoinSpec samples a connected FK subgraph of 3-6 tables with selective
+// predicates on dimension relations.
+func genJoinSpec(in *Instance, rng *rand.Rand, name string) *JoinSpec {
+	if len(in.FKs) == 0 {
+		return nil
+	}
+	k := 3 + rng.Intn(4)
+	sp := &JoinSpec{Name: name}
+	relIdx := map[string]int{}
+
+	addRel := func(table string) int {
+		if i, ok := relIdx[table]; ok {
+			return i
+		}
+		t := in.Table(table)
+		cols := []int{}
+		need := map[int]bool{}
+		if i := t.ColumnIndex("id"); i >= 0 {
+			need[i] = true
+		}
+		for _, fk := range in.FKs {
+			if fk.ChildTable == table {
+				if i := t.ColumnIndex(fk.ChildCol); i >= 0 {
+					need[i] = true
+				}
+			}
+		}
+		var valCols []int
+		for ci := range t.Columns {
+			if need[ci] {
+				cols = append(cols, ci)
+			} else {
+				valCols = append(valCols, ci)
+			}
+		}
+		// One value column for potential predicates.
+		var filterPos = -1
+		if len(valCols) > 0 {
+			vc := valCols[rng.Intn(len(valCols))]
+			cols = append(cols, vc)
+			filterPos = len(cols) - 1
+		}
+		rs := RelSpec{Table: table, ScanCols: cols}
+		// Selective predicate on the value column, JOB-style (on the
+		// smaller/dimension tables more often).
+		if filterPos >= 0 && rng.Float64() < 0.55 {
+			rs.Preds = genJOBPred(in, t, cols, filterPos, rng)
+		}
+		relIdx[table] = len(sp.Rels)
+		sp.Rels = append(sp.Rels, rs)
+		return relIdx[table]
+	}
+
+	colPos := func(rel int, table, col string) int {
+		t := in.Table(table)
+		ci := t.ColumnIndex(col)
+		for p, c := range sp.Rels[rel].ScanCols {
+			if c == ci {
+				return p
+			}
+		}
+		return -1
+	}
+
+	// Start from a random FK child and extend along edges.
+	start := in.FKs[rng.Intn(len(in.FKs))]
+	addRel(start.ChildTable)
+	for len(sp.Rels) < k {
+		var cands []FK
+		var newIsParent []bool
+		for _, fk := range in.FKs {
+			_, hasChild := relIdx[fk.ChildTable]
+			_, hasParent := relIdx[fk.ParentTable]
+			if hasChild && !hasParent {
+				cands = append(cands, fk)
+				newIsParent = append(newIsParent, true)
+			} else if hasParent && !hasChild {
+				cands = append(cands, fk)
+				newIsParent = append(newIsParent, false)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		ei := rng.Intn(len(cands))
+		fk := cands[ei]
+		var a, b int
+		if newIsParent[ei] {
+			a = relIdx[fk.ChildTable]
+			b = addRel(fk.ParentTable)
+		} else {
+			b = relIdx[fk.ParentTable]
+			a = addRel(fk.ChildTable)
+		}
+		ac := colPos(a, fk.ChildTable, fk.ChildCol)
+		bc := colPos(b, fk.ParentTable, fk.ParentCol)
+		if ac < 0 || bc < 0 {
+			break
+		}
+		sp.Edges = append(sp.Edges, EdgeSpec{A: a, B: b, ACol: ac, BCol: bc})
+	}
+	if len(sp.Rels) < 2 {
+		return nil
+	}
+	return sp
+}
+
+// genJOBPred creates a selective predicate over the value column at position
+// pos of the scan schema.
+func genJOBPred(in *Instance, t *storage.Table, cols []int, pos int, rng *rand.Rand) []expr.BoolExpr {
+	ci := cols[pos]
+	col := &t.Columns[ci]
+	cs := &in.Stats.Tables[t.Name].Cols[ci]
+	ref := expr.Col(pos, col.Name, col.Kind)
+	switch col.Kind {
+	case storage.String:
+		if len(cs.SampleStrings) == 0 {
+			return nil
+		}
+		w := cs.SampleStrings[rng.Intn(len(cs.SampleStrings))]
+		switch rng.Intn(3) {
+		case 0:
+			return []expr.BoolExpr{expr.NewCmp(expr.Eq, ref, expr.ConstString(w))}
+		case 1:
+			if len(w) > 2 {
+				return []expr.BoolExpr{expr.NewLike(ref, w[:len(w)-1]+"%")}
+			}
+			return []expr.BoolExpr{expr.NewLike(ref, "%"+w)}
+		default:
+			k := 1 + rng.Intn(3)
+			vals := make([]string, k)
+			for i := range vals {
+				vals[i] = cs.SampleStrings[rng.Intn(len(cs.SampleStrings))]
+			}
+			return []expr.BoolExpr{expr.NewInListStrings(ref, vals)}
+		}
+	case storage.Int64:
+		span := cs.Max - cs.Min
+		sel := 0.02 + rng.Float64()*0.5
+		lo := cs.Min + rng.Float64()*(1-sel)*span
+		return []expr.BoolExpr{expr.NewBetween(ref, expr.ConstInt(int64(lo)), expr.ConstInt(int64(lo+sel*span)))}
+	case storage.Float64:
+		span := cs.Max - cs.Min
+		sel := 0.02 + rng.Float64()*0.5
+		return []expr.BoolExpr{expr.NewCmp(expr.Le, ref, expr.ConstFloat(cs.Min+sel*span))}
+	}
+	return nil
+}
+
+// LeftDeepPlan materializes the spec as a left-deep physical plan in
+// relation order (rel 0 is the initial probe stream, every further relation
+// is a hash-join build side), ending in a global aggregation to a single
+// tuple — the JOB-full query shape.
+func (sp *JoinSpec) LeftDeepPlan(in *Instance) *plan.Node {
+	return sp.PlanForOrder(in, nil)
+}
+
+// PlanForOrder materializes the spec as a left-deep plan joining relations
+// in the given order (nil means 0..n-1), ending in the JOB-style global
+// aggregation to a single tuple. The order must keep the join graph
+// connected at every step; unsatisfiable orders panic.
+func (sp *JoinSpec) PlanForOrder(in *Instance, order []int) *plan.Node {
+	root := sp.PlanForOrderNoAgg(in, order)
+	aggs := []plan.Agg{{Fn: plan.AggCount}}
+	names := []string{"cnt"}
+	for i, cm := range root.Schema {
+		if cm.Kind == storage.Int64 || cm.Kind == storage.Float64 {
+			aggs = append(aggs, plan.Agg{Fn: plan.AggMin, Col: i})
+			names = append(names, "mn")
+			break
+		}
+	}
+	return plan.NewGroupBy(root, nil, aggs, names)
+}
+
+// PlanForOrderNoAgg is PlanForOrder without the final aggregation: it
+// returns the raw join pipeline result.
+func (sp *JoinSpec) PlanForOrderNoAgg(in *Instance, order []int) *plan.Node {
+	if order == nil {
+		order = make([]int, len(sp.Rels))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	// offset[r] is the position of relation r's scan columns in the current
+	// output schema, or -1 if not yet joined.
+	offset := make([]int, len(sp.Rels))
+	for i := range offset {
+		offset[i] = -1
+	}
+
+	first := order[0]
+	root := sp.Rels[first].Scan(in)
+	offset[first] = 0
+	width := len(sp.Rels[first].ScanCols)
+	joined := map[int]bool{first: true}
+
+	for _, r := range order[1:] {
+		// Find an edge connecting r to the joined set.
+		var probeKeys, buildKeys []int
+		for _, e := range sp.Edges {
+			if e.A == r && joined[e.B] {
+				buildKeys = append(buildKeys, e.ACol)
+				probeKeys = append(probeKeys, offset[e.B]+e.BCol)
+			} else if e.B == r && joined[e.A] {
+				buildKeys = append(buildKeys, e.BCol)
+				probeKeys = append(probeKeys, offset[e.A]+e.ACol)
+			}
+		}
+		if len(buildKeys) == 0 {
+			panic(fmt.Sprintf("workload: join order disconnects relation %d in %s", r, sp.Name))
+		}
+		// A single equi-edge suffices; extra edges would be filters. Use the
+		// first to keep plans simple and deterministic.
+		build := sp.Rels[r].Scan(in)
+		payload := make([]int, len(sp.Rels[r].ScanCols))
+		for i := range payload {
+			payload[i] = i
+		}
+		root = plan.NewHashJoin(build, root, buildKeys[:1], probeKeys[:1], payload)
+		offset[r] = width
+		width += len(payload)
+		joined[r] = true
+	}
+	return root
+}

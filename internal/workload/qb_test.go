@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"testing"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+func qbInstance(t *testing.T) *Instance {
+	t.Helper()
+	return MustGenerate(TPCHSpec("tpch_qb", 0.01, 77))
+}
+
+func TestQBScanFilterAggregate(t *testing.T) {
+	in := qbInstance(t)
+	q := in.Scan("orders", []string{"id", "o_totalprice", "o_orderpriority"},
+		CmpP(expr.Gt, "o_totalprice", Float(100000))).
+		GroupBy([]string{"orders.o_orderpriority"},
+			AggSpec{Fn: plan.AggCount, Name: "n"},
+			AggSpec{Fn: plan.AggAvg, Col: "orders.o_totalprice", Name: "avg_price"}).
+		Sort([]string{"n"}, []bool{true}).
+		Build()
+	res, err := exec.Run(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference.
+	ord := in.Table("orders")
+	ref := map[string]int64{}
+	for i, v := range ord.Column("o_totalprice").Flts {
+		if v > 100000 {
+			ref[ord.Column("o_orderpriority").Strs[i]]++
+		}
+	}
+	if res.Rows != len(ref) {
+		t.Fatalf("groups = %d, want %d", res.Rows, len(ref))
+	}
+	for i := 0; i < res.Rows; i++ {
+		seg := res.Output.Cols[0].Strs[i]
+		if res.Output.Cols[1].Ints[i] != ref[seg] {
+			t.Errorf("group %q: %d, want %d", seg, res.Output.Cols[1].Ints[i], ref[seg])
+		}
+	}
+}
+
+func TestQBColumnResolutionPanics(t *testing.T) {
+	in := qbInstance(t)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("unknown table", func() { in.Scan("nosuch", []string{"id"}) })
+	expectPanic("unknown column", func() { in.Scan("orders", []string{"nosuch"}) })
+	expectPanic("unscanned predicate column", func() {
+		in.Scan("orders", []string{"id"}, CmpP(expr.Gt, "o_totalprice", Float(1)))
+	})
+	expectPanic("unknown output column", func() {
+		in.Scan("orders", []string{"id"}).Sort([]string{"nosuch"}, []bool{false})
+	})
+}
+
+func TestQBWindowAndLimit(t *testing.T) {
+	in := qbInstance(t)
+	q := in.Scan("customer", []string{"id", "c_nationkey", "c_acctbal"}).
+		Window(plan.WinRowNumber, []string{"customer.c_nationkey"}, []string{"customer.c_acctbal"}, "", "rn").
+		Filter(func(r Ref) expr.BoolExpr {
+			return expr.NewCmp(expr.Le, r("rn"), expr.ConstInt(2))
+		}).
+		Limit(10).
+		Build()
+	res, err := exec.Run(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows > 10 {
+		t.Fatalf("limit violated: %d rows", res.Rows)
+	}
+	for i := 0; i < res.Rows; i++ {
+		if res.Output.Cols[3].Ints[i] > 2 {
+			t.Fatal("window filter violated")
+		}
+	}
+}
+
+func TestQBProjectAndMaterialize(t *testing.T) {
+	in := qbInstance(t)
+	q := in.Scan("supplier", []string{"id", "s_acctbal", "s_name"}).
+		Project("supplier.s_name").
+		Materialize().
+		Build()
+	res, err := exec.Run(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output.Cols) != 1 || res.Output.Cols[0].Kind != storage.String {
+		t.Fatalf("projection wrong: %+v", res.Output.Cols)
+	}
+}
+
+func TestJOBJoinSpecsDeterministicAndConnected(t *testing.T) {
+	in := MustGenerate(IMDBSpec("imdb_qb", 0.01, 88))
+	a := JOBJoinSpecs(in)
+	b := JOBJoinSpecs(in)
+	if len(a) != len(b) || len(a) < 100 {
+		t.Fatalf("spec counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Rels) != len(b[i].Rels) || len(a[i].Edges) != len(b[i].Edges) {
+			t.Fatalf("spec %d differs across generations", i)
+		}
+	}
+	for _, sp := range a {
+		if len(sp.Edges) < len(sp.Rels)-1 {
+			t.Errorf("%s: %d edges cannot connect %d relations", sp.Name, len(sp.Edges), len(sp.Rels))
+		}
+		// Edge endpoints in range and columns valid.
+		for _, e := range sp.Edges {
+			if e.A < 0 || e.A >= len(sp.Rels) || e.B < 0 || e.B >= len(sp.Rels) {
+				t.Fatalf("%s: edge endpoints out of range", sp.Name)
+			}
+			if e.ACol >= len(sp.Rels[e.A].ScanCols) || e.BCol >= len(sp.Rels[e.B].ScanCols) {
+				t.Fatalf("%s: edge columns out of range", sp.Name)
+			}
+		}
+	}
+}
+
+func TestGroupsCount(t *testing.T) {
+	if len(Groups) != 16 {
+		t.Fatalf("paper defines 16 query structure groups, have %d", len(Groups))
+	}
+	seen := map[Group]bool{}
+	for _, g := range Groups {
+		if seen[g] {
+			t.Errorf("duplicate group %s", g)
+		}
+		seen[g] = true
+		if g == GroupFixed {
+			t.Error("Fixed is reserved for benchmark queries")
+		}
+	}
+}
+
+func TestTrainAndTestMakersCoverSuite(t *testing.T) {
+	cfg := SuiteConfig{Scale: 0.01, Seed: 3}
+	train := TrainMakers(cfg)
+	test := TestMakers(cfg)
+	if len(train) != 22 {
+		t.Errorf("train instances = %d, want 22 (3 tpch + imdb + 18 synthetic)", len(train))
+	}
+	if len(test) != 3 {
+		t.Errorf("test instances = %d, want 3 TPC-DS scale variants", len(test))
+	}
+	names := map[string]bool{}
+	for _, m := range append(train, test...) {
+		if names[m.Name] {
+			t.Errorf("duplicate instance name %s", m.Name)
+		}
+		names[m.Name] = true
+	}
+	// Lazy construction actually works.
+	in := train[0].Make()
+	if in == nil || in.DB.TotalRows() == 0 {
+		t.Fatal("maker produced empty instance")
+	}
+}
+
+func TestWordPoolDistinct(t *testing.T) {
+	in := MustGenerate(InstanceSpec{
+		Name: "wp", Seed: 4,
+		Tables: []TableSpec{{
+			Name: "t", Rows: 5000,
+			Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "w", Kind: storage.String, Dist: DistWords, NDistinct: 50},
+			},
+		}},
+	})
+	if d := in.Stats.Tables["t"].Cols[1].Distinct; d != 50 {
+		t.Errorf("word pool distinct = %d, want 50", d)
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	in := MustGenerate(InstanceSpec{
+		Name: "zf", Seed: 5,
+		Tables: []TableSpec{{
+			Name: "t", Rows: 20000,
+			Cols: []ColSpec{
+				{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+				{Name: "z", Kind: storage.Int64, Dist: DistZipfInt, NDistinct: 100, Skew: 1.6},
+				{Name: "u", Kind: storage.Int64, Dist: DistUniformInt, Min: 0, Max: 99},
+			},
+		}},
+	})
+	count := func(col string) int {
+		c := in.Table("t").Column(col)
+		m := mode(c.Ints)
+		top := 0
+		for _, v := range c.Ints {
+			if v == m {
+				top++
+			}
+		}
+		return top
+	}
+	if zTop, uTop := count("z"), count("u"); zTop <= 3*uTop {
+		t.Errorf("zipf top value (%d) should dominate uniform top (%d)", zTop, uTop)
+	}
+}
+
+// mode returns the most frequent value.
+func mode(vs []int64) int64 {
+	counts := map[int64]int{}
+	best, bestN := int64(0), 0
+	for _, v := range vs {
+		counts[v]++
+		if counts[v] > bestN {
+			best, bestN = v, counts[v]
+		}
+	}
+	return best
+}

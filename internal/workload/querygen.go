@@ -1,0 +1,646 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/stats"
+	"t3/internal/engine/storage"
+)
+
+// Group labels a generated query-structure group (§4.2, Figure 8 of the
+// paper): Se = selections, CSe = complex selections, A = aggregation,
+// SiA = simple (global) aggregation, J = joins, W = window functions, So =
+// sort, and combinations thereof. "Fixed" marks hand-written benchmark
+// queries.
+type Group string
+
+// Query structure groups. GroupFixed is reserved for benchmark queries.
+const (
+	GroupSe     Group = "Se"
+	GroupCSe    Group = "CSe"
+	GroupA      Group = "A"
+	GroupSiA    Group = "SiA"
+	GroupJ      Group = "J"
+	GroupW      Group = "W"
+	GroupSeA    Group = "SeA"
+	GroupSeSiA  Group = "SeSiA"
+	GroupSeJ    Group = "SeJ"
+	GroupCSeJ   Group = "CSeJ"
+	GroupJA     Group = "JA"
+	GroupSeJA   Group = "SeJA"
+	GroupSeJSiA Group = "SeJSiA"
+	GroupCSeJA  Group = "CSeJA"
+	GroupSeJW   Group = "SeJW"
+	GroupSeJASo Group = "SeJASo"
+	GroupFixed  Group = "Fixed"
+)
+
+// Groups lists the 16 generated structure groups.
+var Groups = []Group{
+	GroupSe, GroupCSe, GroupA, GroupSiA, GroupJ, GroupW,
+	GroupSeA, GroupSeSiA, GroupSeJ, GroupCSeJ, GroupJA, GroupSeJA,
+	GroupSeJSiA, GroupCSeJA, GroupSeJW, GroupSeJASo,
+}
+
+// Query is one generated or fixed benchmark query: a physical plan bound to
+// an instance.
+type Query struct {
+	Name     string
+	Group    Group
+	Instance string
+	Root     *plan.Node
+}
+
+// GenConfig controls random query generation.
+type GenConfig struct {
+	// PerGroup is the number of queries per structure group (the paper
+	// uses 40).
+	PerGroup int
+	// Seed drives generation.
+	Seed int64
+	// MaxJoinTables caps the number of joined tables (default 4).
+	MaxJoinTables int
+}
+
+// GenerateQueries produces PerGroup queries for each of the 16 groups on
+// the instance. Queries are deterministic given the config.
+func GenerateQueries(inst *Instance, cfg GenConfig) []*Query {
+	if cfg.PerGroup <= 0 {
+		cfg.PerGroup = 1
+	}
+	if cfg.MaxJoinTables <= 0 {
+		cfg.MaxJoinTables = 4
+	}
+	var out []*Query
+	for gi, g := range Groups {
+		for q := 0; q < cfg.PerGroup; q++ {
+			seed := cfg.Seed + int64(gi)*100003 + int64(q)*7919
+			rng := rand.New(rand.NewSource(seed))
+			root := buildGroupQuery(inst, g, rng, cfg)
+			if root == nil {
+				continue
+			}
+			out = append(out, &Query{
+				Name:     fmt.Sprintf("%s/%s/%d", inst.Name, g, q),
+				Group:    g,
+				Instance: inst.Name,
+				Root:     root,
+			})
+		}
+	}
+	return out
+}
+
+// buildGroupQuery constructs one query of the given structure group, or nil
+// when the instance cannot express it (e.g. joins without FK edges).
+func buildGroupQuery(inst *Instance, g Group, rng *rand.Rand, cfg GenConfig) *plan.Node {
+	b := newBuilder(inst, rng)
+	switch g {
+	case GroupSe:
+		b.scanRandom(filterSimple)
+		b.maybeProject()
+	case GroupCSe:
+		b.scanRandom(filterComplex)
+		b.maybeProject()
+	case GroupA:
+		b.scanRandom(filterNone)
+		b.aggregate(true)
+	case GroupSiA:
+		b.scanRandom(filterNone)
+		b.aggregate(false)
+	case GroupJ:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterNone) {
+			return nil
+		}
+		b.maybeProject()
+	case GroupW:
+		b.scanRandom(filterNone)
+		if !b.window() {
+			return nil
+		}
+	case GroupSeA:
+		b.scanRandom(filterSimple)
+		b.aggregate(true)
+	case GroupSeSiA:
+		b.scanRandom(filterSimple)
+		b.aggregate(false)
+	case GroupSeJ:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterSimple) {
+			return nil
+		}
+		b.maybeProject()
+	case GroupCSeJ:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterComplex) {
+			return nil
+		}
+		b.maybeProject()
+	case GroupJA:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterNone) {
+			return nil
+		}
+		b.aggregate(true)
+	case GroupSeJA:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterSimple) {
+			return nil
+		}
+		b.aggregate(true)
+	case GroupSeJSiA:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterSimple) {
+			return nil
+		}
+		b.aggregate(false)
+	case GroupCSeJA:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterComplex) {
+			return nil
+		}
+		b.aggregate(true)
+	case GroupSeJW:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterSimple) {
+			return nil
+		}
+		if !b.window() {
+			return nil
+		}
+	case GroupSeJASo:
+		if !b.joins(2+rng.Intn(cfg.MaxJoinTables-1), filterSimple) {
+			return nil
+		}
+		b.aggregate(true)
+		b.sort()
+		if b.rng.Float64() < 0.3 {
+			b.root = plan.NewLimit(b.root, 1+b.rng.Intn(100))
+		}
+	default:
+		return nil
+	}
+	return b.root
+}
+
+// filterMode selects predicate complexity for scans.
+type filterMode uint8
+
+const (
+	filterNone filterMode = iota
+	filterSimple
+	filterComplex
+)
+
+// provCol records where a plan output column came from.
+type provCol struct {
+	table string
+	col   int // index into the base table's columns, -1 for computed
+}
+
+// builder incrementally assembles a plan while tracking column provenance.
+type builder struct {
+	inst *Instance
+	rng  *rand.Rand
+	root *plan.Node
+	prov []provCol
+	used map[string]bool // joined tables
+}
+
+func newBuilder(inst *Instance, rng *rand.Rand) *builder {
+	return &builder{inst: inst, rng: rng, used: map[string]bool{}}
+}
+
+// randomTable picks any table of the instance.
+func (b *builder) randomTable() *storage.Table {
+	return b.inst.DB.Tables[b.rng.Intn(len(b.inst.DB.Tables))]
+}
+
+// scanRandom starts the plan with a scan of a random table.
+func (b *builder) scanRandom(fm filterMode) {
+	t := b.randomTable()
+	b.scanInto(t, fm)
+}
+
+// scanCols picks the columns to scan: id, all FK columns (so joins remain
+// possible), and a sample of value columns.
+func (b *builder) scanCols(t *storage.Table) []int {
+	cols := []int{}
+	needed := map[int]bool{}
+	if i := t.ColumnIndex("id"); i >= 0 {
+		needed[i] = true
+	}
+	for _, fk := range b.inst.FKs {
+		if fk.ChildTable == t.Name {
+			if i := t.ColumnIndex(fk.ChildCol); i >= 0 {
+				needed[i] = true
+			}
+		}
+	}
+	for ci := range t.Columns {
+		if needed[ci] || b.rng.Float64() < 0.6 {
+			cols = append(cols, ci)
+		}
+	}
+	if len(cols) == 0 {
+		cols = []int{0}
+	}
+	return cols
+}
+
+// scanInto sets the builder's root to a scan of t with generated pushed-down
+// predicates, and records provenance.
+func (b *builder) scanInto(t *storage.Table, fm filterMode) {
+	cols := b.scanCols(t)
+	preds := b.genPredicates(t, cols, fm)
+	b.root = plan.NewTableScan(t, cols, preds...)
+	b.prov = b.prov[:0]
+	for _, ci := range cols {
+		b.prov = append(b.prov, provCol{table: t.Name, col: ci})
+	}
+	b.used = map[string]bool{t.Name: true}
+}
+
+// scanFor builds a standalone scan of t (for join build sides) returning the
+// node and its provenance.
+func (b *builder) scanFor(t *storage.Table, fm filterMode) (*plan.Node, []provCol) {
+	cols := b.scanCols(t)
+	preds := b.genPredicates(t, cols, fm)
+	n := plan.NewTableScan(t, cols, preds...)
+	prov := make([]provCol, len(cols))
+	for i, ci := range cols {
+		prov[i] = provCol{table: t.Name, col: ci}
+	}
+	return n, prov
+}
+
+// genPredicates creates 0-3 pushed-down predicates over the scanned columns.
+func (b *builder) genPredicates(t *storage.Table, cols []int, fm filterMode) []expr.BoolExpr {
+	if fm == filterNone {
+		return nil
+	}
+	ts := b.inst.Stats.Tables[t.Name]
+	var preds []expr.BoolExpr
+	n := 1 + b.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		p := b.genPredicate(t, ts, cols, fm)
+		if p != nil {
+			preds = append(preds, p)
+		}
+	}
+	return preds
+}
+
+// genPredicate creates one predicate over a random scanned column.
+func (b *builder) genPredicate(t *storage.Table, ts *stats.TableStats, cols []int, fm filterMode) expr.BoolExpr {
+	pos := b.rng.Intn(len(cols))
+	ci := cols[pos]
+	col := &t.Columns[ci]
+	cs := &ts.Cols[ci]
+	ref := expr.Col(pos, col.Name, col.Kind)
+
+	switch col.Kind {
+	case storage.Int64, storage.Float64:
+		lo, hi := cs.Min, cs.Max
+		span := hi - lo
+		sel := 0.01 + b.rng.Float64()*0.9
+		mkConst := func(v float64) *expr.Const {
+			if col.Kind == storage.Int64 {
+				return expr.ConstInt(int64(v))
+			}
+			return expr.ConstFloat(v)
+		}
+		if fm == filterComplex && b.rng.Float64() < 0.5 {
+			// BETWEEN with random placement.
+			start := lo + b.rng.Float64()*(1-sel)*span
+			return expr.NewBetween(ref, mkConst(start), mkConst(start+sel*span))
+		}
+		if fm == filterComplex && col.Kind == storage.Int64 && cs.Distinct <= 1000 && b.rng.Float64() < 0.4 {
+			// IN over a handful of values.
+			k := 1 + b.rng.Intn(6)
+			vals := make([]int64, k)
+			for i := range vals {
+				vals[i] = int64(lo) + b.rng.Int63n(int64(span)+1)
+			}
+			return expr.NewInListInts(ref, vals)
+		}
+		if b.rng.Float64() < 0.5 {
+			return expr.NewCmp(expr.Le, ref, mkConst(lo+sel*span))
+		}
+		return expr.NewCmp(expr.Ge, ref, mkConst(hi-sel*span))
+	case storage.String:
+		if len(cs.SampleStrings) == 0 {
+			return nil
+		}
+		w := cs.SampleStrings[b.rng.Intn(len(cs.SampleStrings))]
+		if fm == filterComplex {
+			switch b.rng.Intn(3) {
+			case 0:
+				// LIKE with a prefix or suffix wildcard.
+				if len(w) > 2 && b.rng.Float64() < 0.5 {
+					return expr.NewLike(ref, w[:len(w)/2]+"%")
+				}
+				return expr.NewLike(ref, "%"+w[len(w)/2:])
+			case 1:
+				k := 1 + b.rng.Intn(4)
+				vals := make([]string, k)
+				for i := range vals {
+					vals[i] = cs.SampleStrings[b.rng.Intn(len(cs.SampleStrings))]
+				}
+				return expr.NewInListStrings(ref, vals)
+			default:
+				return expr.NewCmp(expr.Eq, ref, expr.ConstString(w))
+			}
+		}
+		return expr.NewCmp(expr.Eq, ref, expr.ConstString(w))
+	}
+	return nil
+}
+
+// joins extends the plan with up to k-1 hash joins along foreign-key edges.
+// It reports false when the instance has no usable join edges.
+func (b *builder) joins(k int, fm filterMode) bool {
+	if len(b.inst.FKs) == 0 {
+		return false
+	}
+	// Start from a random FK child so at least one edge is reachable.
+	fk := b.inst.FKs[b.rng.Intn(len(b.inst.FKs))]
+	b.scanInto(b.inst.Table(fk.ChildTable), fm)
+
+	for len(b.used) < k {
+		edge, newParent := b.pickEdge()
+		if edge == nil {
+			break
+		}
+		before := len(b.used)
+		if newParent {
+			b.joinParent(*edge, fm)
+		} else {
+			b.joinChild(*edge, fm)
+		}
+		if len(b.used) == before {
+			// Defensive: the edge could not be wired (key column missing
+			// from provenance); avoid retrying it forever.
+			break
+		}
+	}
+	return len(b.used) >= 2
+}
+
+// pickEdge finds a random FK edge connecting the current table set to a new
+// table. newParent reports whether the new table is the parent side.
+func (b *builder) pickEdge() (*FK, bool) {
+	var cands []FK
+	var parent []bool
+	for _, fk := range b.inst.FKs {
+		if b.used[fk.ChildTable] && !b.used[fk.ParentTable] {
+			cands = append(cands, fk)
+			parent = append(parent, true)
+		} else if b.used[fk.ParentTable] && !b.used[fk.ChildTable] {
+			cands = append(cands, fk)
+			parent = append(parent, false)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	i := b.rng.Intn(len(cands))
+	return &cands[i], parent[i]
+}
+
+// provIndex finds the position of table.col in the current provenance.
+func (b *builder) provIndex(table, col string) int {
+	t := b.inst.Table(table)
+	ci := t.ColumnIndex(col)
+	for i, p := range b.prov {
+		if p.table == table && p.col == ci {
+			return i
+		}
+	}
+	return -1
+}
+
+// joinParent hash-joins a new parent table (build side) against the current
+// plan's FK column (probe side).
+func (b *builder) joinParent(fk FK, fm filterMode) {
+	probeKey := b.provIndex(fk.ChildTable, fk.ChildCol)
+	if probeKey < 0 {
+		return
+	}
+	build, bProv := b.scanFor(b.inst.Table(fk.ParentTable), fm)
+	buildKey := -1
+	for i, p := range bProv {
+		if p.col == b.inst.Table(fk.ParentTable).ColumnIndex(fk.ParentCol) {
+			buildKey = i
+		}
+	}
+	if buildKey < 0 {
+		return
+	}
+	payload := b.pickPayload(build, bProv, buildKey)
+	b.finishJoin(build, bProv, buildKey, probeKey, payload, fk.ParentTable)
+}
+
+// joinChild hash-joins a new child table (build side, keyed by its FK
+// column) against the current plan's parent id column (probe side).
+func (b *builder) joinChild(fk FK, fm filterMode) {
+	probeKey := b.provIndex(fk.ParentTable, fk.ParentCol)
+	if probeKey < 0 {
+		return
+	}
+	child := b.inst.Table(fk.ChildTable)
+	build, bProv := b.scanFor(child, fm)
+	buildKey := -1
+	for i, p := range bProv {
+		if p.col == child.ColumnIndex(fk.ChildCol) {
+			buildKey = i
+		}
+	}
+	if buildKey < 0 {
+		return
+	}
+	payload := b.pickPayload(build, bProv, buildKey)
+	b.finishJoin(build, bProv, buildKey, probeKey, payload, fk.ChildTable)
+}
+
+// pickPayload selects the build-side columns carried into the join output:
+// all FK columns (to keep later joins possible) plus a sample of values.
+func (b *builder) pickPayload(build *plan.Node, bProv []provCol, buildKey int) []int {
+	var payload []int
+	t := b.inst.Table(bProv[0].table)
+	isKeyish := map[int]bool{}
+	if i := t.ColumnIndex("id"); i >= 0 {
+		isKeyish[i] = true
+	}
+	for _, fk := range b.inst.FKs {
+		if fk.ChildTable == t.Name {
+			if i := t.ColumnIndex(fk.ChildCol); i >= 0 {
+				isKeyish[i] = true
+			}
+		}
+	}
+	for i, p := range bProv {
+		if i == buildKey {
+			continue
+		}
+		if isKeyish[p.col] || b.rng.Float64() < 0.5 {
+			payload = append(payload, i)
+		}
+	}
+	return payload
+}
+
+// finishJoin wires the join node and updates provenance.
+func (b *builder) finishJoin(build *plan.Node, bProv []provCol, buildKey, probeKey int, payload []int, newTable string) {
+	b.root = plan.NewHashJoin(build, b.root, []int{buildKey}, []int{probeKey}, payload)
+	for _, ci := range payload {
+		b.prov = append(b.prov, bProv[ci])
+	}
+	b.used[newTable] = true
+}
+
+// numericCols returns provenance positions of numeric columns.
+func (b *builder) numericCols() []int {
+	var out []int
+	for i := range b.prov {
+		k := b.colKind(i)
+		if k == storage.Int64 || k == storage.Float64 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// colKind returns the type of output column i of the current plan.
+func (b *builder) colKind(i int) storage.Type { return b.root.Schema[i].Kind }
+
+// colDistinct estimates the distinct count of output column i from base
+// statistics.
+func (b *builder) colDistinct(i int) int {
+	p := b.prov[i]
+	if p.table == "" || p.col < 0 {
+		return 1 << 30
+	}
+	return b.inst.Stats.Tables[p.table].Cols[p.col].Distinct
+}
+
+// aggregate appends a group-by. grouped=false produces a global aggregate
+// (the paper's "simple aggregation").
+func (b *builder) aggregate(grouped bool) {
+	var groupCols []int
+	if grouped {
+		// Prefer low-distinct columns as grouping keys.
+		var cands []int
+		for i := range b.prov {
+			if d := b.colDistinct(i); d <= 10000 {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			for i := range b.prov {
+				cands = append(cands, i)
+			}
+		}
+		k := 1
+		if len(cands) > 1 && b.rng.Float64() < 0.3 {
+			k = 2
+		}
+		seen := map[int]bool{}
+		for len(groupCols) < k {
+			c := cands[b.rng.Intn(len(cands))]
+			if !seen[c] {
+				seen[c] = true
+				groupCols = append(groupCols, c)
+			}
+		}
+	}
+	nums := b.numericCols()
+	var aggs []plan.Agg
+	var names []string
+	na := 1 + b.rng.Intn(3)
+	for i := 0; i < na; i++ {
+		if len(nums) == 0 || b.rng.Float64() < 0.25 {
+			aggs = append(aggs, plan.Agg{Fn: plan.AggCount})
+			names = append(names, fmt.Sprintf("c%d", i))
+			continue
+		}
+		fns := []plan.AggFn{plan.AggSum, plan.AggMin, plan.AggMax, plan.AggAvg}
+		col := nums[b.rng.Intn(len(nums))]
+		aggs = append(aggs, plan.Agg{Fn: fns[b.rng.Intn(len(fns))], Col: col})
+		names = append(names, fmt.Sprintf("a%d", i))
+	}
+	root := plan.NewGroupBy(b.root, groupCols, aggs, names)
+	b.root = root
+	// New provenance: group cols keep theirs, aggregates are computed.
+	newProv := make([]provCol, 0, len(root.Schema))
+	for _, ci := range groupCols {
+		newProv = append(newProv, b.prov[ci])
+	}
+	for range aggs {
+		newProv = append(newProv, provCol{col: -1})
+	}
+	b.prov = newProv
+}
+
+// window appends a window function; reports false when no suitable columns
+// exist.
+func (b *builder) window() bool {
+	var part []int
+	for i := range b.prov {
+		if d := b.colDistinct(i); d <= 1000 {
+			part = append(part, i)
+		}
+	}
+	if len(part) == 0 {
+		return false
+	}
+	nums := b.numericCols()
+	if len(nums) == 0 {
+		return false
+	}
+	p := part[b.rng.Intn(len(part))]
+	o := nums[b.rng.Intn(len(nums))]
+	fn := []plan.WinFn{plan.WinRowNumber, plan.WinRank, plan.WinSum}[b.rng.Intn(3)]
+	arg := o
+	b.root = plan.NewWindow(b.root, fn, []int{p}, []int{o}, arg, "w")
+	b.prov = append(b.prov, provCol{col: -1})
+	return true
+}
+
+// sort appends an order-by over 1-2 output columns.
+func (b *builder) sort() {
+	k := 1
+	if len(b.prov) > 1 && b.rng.Float64() < 0.4 {
+		k = 2
+	}
+	cols := make([]int, 0, k)
+	desc := make([]bool, 0, k)
+	seen := map[int]bool{}
+	for len(cols) < k {
+		c := b.rng.Intn(len(b.prov))
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+			desc = append(desc, b.rng.Float64() < 0.5)
+		}
+	}
+	b.root = plan.NewSort(b.root, cols, desc)
+}
+
+// maybeProject narrows the output to a random column subset.
+func (b *builder) maybeProject() {
+	if len(b.prov) < 2 || b.rng.Float64() < 0.3 {
+		return
+	}
+	var cols []int
+	for i := range b.prov {
+		if b.rng.Float64() < 0.6 {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) == 0 {
+		cols = []int{0}
+	}
+	b.root = plan.Project(b.root, cols)
+	newProv := make([]provCol, len(cols))
+	for i, ci := range cols {
+		newProv[i] = b.prov[ci]
+	}
+	b.prov = newProv
+}

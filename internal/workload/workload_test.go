@@ -1,0 +1,364 @@
+package workload
+
+import (
+	"testing"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/stats"
+)
+
+// smallTPCH returns a tiny TPC-H-lite instance for tests.
+func smallTPCH(t *testing.T) *Instance {
+	t.Helper()
+	return MustGenerate(TPCHSpec("tpch_test", 0.01, 42))
+}
+
+func smallTPCDS(t *testing.T) *Instance {
+	t.Helper()
+	return MustGenerate(TPCDSSpec("tpcds_test", 1, 43))
+}
+
+func smallIMDB(t *testing.T) *Instance {
+	t.Helper()
+	return MustGenerate(IMDBSpec("imdb_test", 0.02, 44))
+}
+
+func TestGenerateTPCHInstance(t *testing.T) {
+	in := smallTPCH(t)
+	if got := len(in.DB.Tables); got != 8 {
+		t.Fatalf("tables = %d, want 8", got)
+	}
+	li := in.Table("lineitem")
+	if li == nil || li.NumRows() != 6000 {
+		t.Fatalf("lineitem rows = %v, want 6000", li.NumRows())
+	}
+	// FK values reference parent PK range.
+	ord := in.Table("orders")
+	ok := li.Column("l_orderkey")
+	for _, v := range ok.Ints[:100] {
+		if v < 0 || v >= int64(ord.NumRows()) {
+			t.Fatalf("l_orderkey %d out of range [0,%d)", v, ord.NumRows())
+		}
+	}
+	if len(in.FKs) == 0 {
+		t.Fatal("no FK metadata recorded")
+	}
+	if in.Stats.Tables["lineitem"].Rows != 6000 {
+		t.Fatal("stats not collected")
+	}
+}
+
+func TestSyntheticInstancesHaveJoinGraphs(t *testing.T) {
+	for i, name := range syntheticNames[:6] {
+		in := MustGenerate(SyntheticSpec(name, int64(500+i), 0.05))
+		if len(in.DB.Tables) < 3 {
+			t.Errorf("%s: only %d tables", name, len(in.DB.Tables))
+		}
+		if len(in.FKs) == 0 {
+			t.Errorf("%s: no foreign keys", name)
+		}
+		for _, fk := range in.FKs {
+			if in.Table(fk.ParentTable) == nil || in.Table(fk.ChildTable) == nil {
+				t.Errorf("%s: dangling FK %+v", name, fk)
+			}
+		}
+	}
+}
+
+func TestGenerateQueriesAllGroupsExecutable(t *testing.T) {
+	in := smallTPCH(t)
+	qs := GenerateQueries(in, GenConfig{PerGroup: 2, Seed: 7})
+	if len(qs) < len(Groups)*2-4 {
+		t.Fatalf("generated only %d queries", len(qs))
+	}
+	seen := map[Group]int{}
+	for _, q := range qs {
+		seen[q.Group]++
+		ps := plan.Decompose(q.Root)
+		if err := plan.ValidatePipelines(ps); err != nil {
+			t.Fatalf("%s: invalid pipelines: %v", q.Name, err)
+		}
+		res, err := exec.Run(q.Root, true)
+		if err != nil {
+			t.Fatalf("%s failed to execute: %v", q.Name, err)
+		}
+		if len(res.Pipelines) != len(ps) {
+			t.Fatalf("%s: %d timings for %d pipelines", q.Name, len(res.Pipelines), len(ps))
+		}
+	}
+	for _, g := range Groups {
+		if seen[g] == 0 {
+			t.Errorf("group %s produced no queries", g)
+		}
+	}
+}
+
+func TestGenerateQueriesDeterministic(t *testing.T) {
+	in := smallTPCH(t)
+	a := GenerateQueries(in, GenConfig{PerGroup: 1, Seed: 3})
+	b := GenerateQueries(in, GenConfig{PerGroup: 1, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("names differ at %d", i)
+		}
+		ra, err := exec.Run(a[i].Root, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := exec.Run(b[i].Root, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Rows != rb.Rows {
+			t.Fatalf("%s: row counts differ %d vs %d", a[i].Name, ra.Rows, rb.Rows)
+		}
+	}
+}
+
+func TestTPCHBenchmarkQueriesExecute(t *testing.T) {
+	in := smallTPCH(t)
+	qs := TPCHBenchmarkQueries(in)
+	if len(qs) < 8 {
+		t.Fatalf("only %d TPC-H benchmark queries", len(qs))
+	}
+	for _, q := range qs {
+		res, err := exec.Run(q.Root, true)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if q.Group != GroupFixed {
+			t.Errorf("%s: group %s, want Fixed", q.Name, q.Group)
+		}
+		_ = res
+	}
+}
+
+func TestQ5PipelineStructure(t *testing.T) {
+	// The paper's running example: Q5 decomposes into multiple pipelines
+	// with two hash-join probes in the lineitem pipeline (Listing 4).
+	in := smallTPCH(t)
+	var q5 *Query
+	for _, q := range TPCHBenchmarkQueries(in) {
+		if q.Name == in.Name+"/q5" {
+			q5 = q
+		}
+	}
+	if q5 == nil {
+		t.Fatal("q5 not found")
+	}
+	ps := plan.Decompose(q5.Root)
+	if len(ps) < 5 {
+		t.Fatalf("Q5 has %d pipelines, want >= 5", len(ps))
+	}
+	// Find the pipeline scanning lineitem: it must contain 2 probe stages.
+	var probeCount int
+	for _, p := range ps {
+		src := p.Source().Node
+		if src.Op == plan.TableScanOp && src.TableName == "lineitem" {
+			for _, s := range p.Stages {
+				if s.Stage == plan.StageProbe {
+					probeCount++
+				}
+			}
+		}
+	}
+	if probeCount != 2 {
+		t.Fatalf("lineitem pipeline has %d probes, want 2", probeCount)
+	}
+}
+
+func TestTPCDSBenchmarkQueriesExecute(t *testing.T) {
+	in := smallTPCDS(t)
+	qs := TPCDSBenchmarkQueries(in)
+	if len(qs) < 12 {
+		t.Fatalf("only %d TPC-DS benchmark queries", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := exec.Run(q.Root, true); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+	}
+}
+
+func TestJOBQueriesExecuteAndAggregateToOneRow(t *testing.T) {
+	in := smallIMDB(t)
+	qs := JOBQueries(in)
+	if len(qs) < 100 {
+		t.Fatalf("only %d JOB-like queries", len(qs))
+	}
+	for _, q := range qs[:30] {
+		res, err := exec.Run(q.Root, true)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if res.Rows != 1 {
+			t.Fatalf("%s: %d result rows, want 1 (global aggregate)", q.Name, res.Rows)
+		}
+	}
+}
+
+func TestJOBPlanForOrderMatchesLeftDeep(t *testing.T) {
+	// Any valid join order must produce the same aggregate result.
+	in := smallIMDB(t)
+	specs := JOBJoinSpecs(in)
+	checked := 0
+	for _, sp := range specs {
+		if len(sp.Rels) != 3 {
+			continue
+		}
+		p1 := sp.LeftDeepPlan(in)
+		r1, err := exec.Run(p1, false)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		// Try a reversed-ish order if it stays connected.
+		order := validReorder(sp)
+		if order == nil {
+			continue
+		}
+		p2 := sp.PlanForOrder(in, order)
+		r2, err := exec.Run(p2, false)
+		if err != nil {
+			t.Fatalf("%s reordered: %v", sp.Name, err)
+		}
+		c1 := r1.Output.Cols[0].Ints[0]
+		c2 := r2.Output.Cols[0].Ints[0]
+		if c1 != c2 {
+			t.Fatalf("%s: count differs across join orders: %d vs %d", sp.Name, c1, c2)
+		}
+		checked++
+		if checked >= 5 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no reorderable 3-relation specs found")
+	}
+}
+
+// validReorder returns an alternative connected join order, or nil.
+func validReorder(sp *JoinSpec) []int {
+	n := len(sp.Rels)
+	adj := make(map[int]map[int]bool)
+	for _, e := range sp.Edges {
+		if adj[e.A] == nil {
+			adj[e.A] = map[int]bool{}
+		}
+		if adj[e.B] == nil {
+			adj[e.B] = map[int]bool{}
+		}
+		adj[e.A][e.B] = true
+		adj[e.B][e.A] = true
+	}
+	// Start from the last relation and grow greedily.
+	order := []int{n - 1}
+	used := map[int]bool{n - 1: true}
+	for len(order) < n {
+		found := -1
+		for r := 0; r < n; r++ {
+			if used[r] {
+				continue
+			}
+			for u := range used {
+				if adj[r][u] {
+					found = r
+					break
+				}
+			}
+			if found >= 0 {
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		used[found] = true
+		order = append(order, found)
+	}
+	same := true
+	for i, r := range order {
+		if r != i {
+			same = false
+		}
+	}
+	if same {
+		return nil
+	}
+	return order
+}
+
+func TestEstimatorAnnotatesPlans(t *testing.T) {
+	in := smallTPCH(t)
+	qs := GenerateQueries(in, GenConfig{PerGroup: 2, Seed: 11})
+	est := &stats.Estimator{DB: in.Stats}
+	for _, q := range qs {
+		est.Estimate(q.Root)
+		if err := exec.AnnotateTrueCards(q.Root); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		q.Root.Walk(func(n *plan.Node) {
+			if n.OutCard.Est < 0 {
+				t.Errorf("%s: negative estimate at %v", q.Name, n)
+			}
+		})
+		// The root estimate should be within a few orders of magnitude of
+		// the truth for most queries; check it is at least finite and
+		// non-negative.
+		if n := q.Root; n.OutCard.Est != n.OutCard.Est {
+			t.Errorf("%s: NaN estimate", q.Name)
+		}
+	}
+}
+
+func TestDistortion(t *testing.T) {
+	in := smallTPCH(t)
+	q := TPCHBenchmarkQueries(in)[0]
+	if err := exec.AnnotateTrueCards(q.Root); err != nil {
+		t.Fatal(err)
+	}
+	stats.Distort(q.Root, 1, 5)
+	q.Root.Walk(func(n *plan.Node) {
+		if n.OutCard.Est != n.OutCard.True {
+			t.Errorf("factor 1 should keep cards exact: %v vs %v", n.OutCard.Est, n.OutCard.True)
+		}
+	})
+	stats.Distort(q.Root, 100, 5)
+	var distorted bool
+	q.Root.Walk(func(n *plan.Node) {
+		if n.OutCard.True > 0 {
+			ratio := n.OutCard.Est / n.OutCard.True
+			if ratio < 1.0/100-1e-9 || ratio > 100+1e-9 {
+				t.Errorf("distortion out of bounds: ratio %v", ratio)
+			}
+			if ratio != 1 {
+				distorted = true
+			}
+		}
+	})
+	if !distorted {
+		t.Error("factor 100 distorted nothing")
+	}
+}
+
+func TestCopyTrueToEst(t *testing.T) {
+	in := smallTPCH(t)
+	q := TPCHBenchmarkQueries(in)[2]
+	if err := exec.AnnotateTrueCards(q.Root); err != nil {
+		t.Fatal(err)
+	}
+	stats.CopyTrueToEst(q.Root)
+	q.Root.Walk(func(n *plan.Node) {
+		if n.OutCard.Est != n.OutCard.True {
+			t.Errorf("est %v != true %v", n.OutCard.Est, n.OutCard.True)
+		}
+		for i := range n.PredSel {
+			if n.PredSel[i].Est != n.PredSel[i].True {
+				t.Errorf("pred sel est %v != true %v", n.PredSel[i].Est, n.PredSel[i].True)
+			}
+		}
+	})
+}

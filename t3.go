@@ -1,0 +1,207 @@
+// Package t3 is the public API of this reproduction of "T3: Accurate and
+// Fast Performance Prediction for Relational Database Systems With Compiled
+// Decision Trees" (Rieger & Neumann, SIGMOD 2025).
+//
+// T3 predicts the wall-clock execution time of a query from its annotated
+// physical plan, without running it. It combines three ideas:
+//
+//   - Pipeline-based plan representation: the plan is decomposed into
+//     pipelines; each pipeline becomes one flat feature vector and is
+//     predicted individually; the query prediction is the sum (§2.2).
+//   - Tuple-centric targets: the model predicts the (log-transformed) time
+//     to push one tuple through the pipeline and multiplies by the
+//     pipeline's input cardinality (§2.4).
+//   - Compiled decision trees: a gradient-boosted ensemble evaluated in a
+//     flattened, compiled form for microsecond-level latency (§2.6).
+//
+// The typical flow is: build or obtain annotated plans (see
+// internal/workload and internal/benchdata for generators and the
+// benchmarking harness), train with Train, and predict with
+// Model.PredictPlan. Trained models serialize to JSON with Save/Load and
+// compile to Go source with internal/treec.GenGo (cmd/t3compile).
+package t3
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"t3/internal/benchdata"
+	"t3/internal/engine/plan"
+	"t3/internal/feature"
+	"t3/internal/gbdt"
+	"t3/internal/treec"
+)
+
+// Re-exported types so that API consumers can name the core concepts without
+// reaching into internal packages.
+type (
+	// Plan is an annotated physical query plan node.
+	Plan = plan.Node
+	// Pipeline is one decomposed pipeline of a plan.
+	Pipeline = plan.Pipeline
+	// CardMode selects true or estimated cardinality annotations.
+	CardMode = plan.CardMode
+	// Params configures gradient-boosted-tree training.
+	Params = gbdt.Params
+	// BenchedQuery is a benchmarked query with per-pipeline timings.
+	BenchedQuery = benchdata.BenchedQuery
+)
+
+// Cardinality modes.
+const (
+	// TrueCards predicts from measured cardinalities ("perfect" mode).
+	TrueCards = plan.TrueCards
+	// EstCards predicts from estimator outputs.
+	EstCards = plan.EstCards
+)
+
+// DefaultParams returns the paper's training configuration: 200 trees with
+// roughly 30 leaves, MAPE objective, 20% validation split.
+func DefaultParams() Params { return gbdt.DefaultParams() }
+
+// Model is a trained T3 performance predictor.
+type Model struct {
+	reg  *feature.Registry
+	gbm  *gbdt.Model
+	flat *treec.Flat
+}
+
+// Registry returns the feature registry used by the model.
+func (m *Model) Registry() *feature.Registry { return m.reg }
+
+// Boosted returns the underlying gradient-boosted ensemble (the interpreted
+// form).
+func (m *Model) Boosted() *gbdt.Model { return m.gbm }
+
+// Compiled returns the flattened (compiled) evaluator.
+func (m *Model) Compiled() *treec.Flat { return m.flat }
+
+// TrainOptions configures Train.
+type TrainOptions struct {
+	// Params are the boosting parameters (DefaultParams when zero).
+	Params Params
+	// CardMode selects which cardinality annotations the feature vectors
+	// are built from. The paper trains on perfect cardinalities by default
+	// (§2.1) and studies estimated ones in §5.6.
+	CardMode CardMode
+	// Runs caps how many timing runs are used to form the median target
+	// (0 = all). Figure 14 varies this.
+	Runs int
+}
+
+// Train fits a T3 model on benchmarked queries: every pipeline of every
+// query becomes one example with a tuple-centric transformed target.
+func Train(benched []*BenchedQuery, opts TrainOptions) (*Model, error) {
+	if len(benched) == 0 {
+		return nil, errors.New("t3: no training queries")
+	}
+	p := opts.Params
+	if p.NumRounds == 0 {
+		p = DefaultParams()
+	}
+	reg := feature.NewDefaultRegistry()
+	xs, ys := benchdata.Examples(reg, benched, opts.CardMode, opts.Runs)
+	gbm, _, err := gbdt.Train(p, xs, ys, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("t3: training failed: %w", err)
+	}
+	gbm.FeatureNames = reg.Names()
+	return NewModel(gbm)
+}
+
+// NewModel wraps a trained (or loaded) boosted ensemble with the default
+// feature registry and compiles it.
+func NewModel(gbm *gbdt.Model) (*Model, error) {
+	reg := feature.NewDefaultRegistry()
+	if gbm.NumFeatures != reg.NumFeatures() {
+		return nil, fmt.Errorf("t3: model has %d features, registry has %d", gbm.NumFeatures, reg.NumFeatures())
+	}
+	return &Model{reg: reg, gbm: gbm, flat: treec.Flatten(gbm)}, nil
+}
+
+// PipelinePrediction is the predicted execution of one pipeline.
+type PipelinePrediction struct {
+	// Index is the pipeline's position in execution order.
+	Index int
+	// PerTupleSeconds is the predicted time in seconds to push one tuple
+	// into the pipeline (often far below a nanosecond, hence not a
+	// time.Duration).
+	PerTupleSeconds float64
+	// Cardinality is the pipeline input cardinality used for scaling.
+	Cardinality float64
+	// Total is PerTupleSeconds × Cardinality.
+	Total time.Duration
+}
+
+// PredictPlan predicts the execution time of a whole query: it decomposes
+// the plan into pipelines, predicts each, and sums (Figure 2).
+func (m *Model) PredictPlan(root *Plan, mode CardMode) (time.Duration, []PipelinePrediction) {
+	vecs, pipelines := m.reg.PlanVectors(root, mode)
+	preds := make([]PipelinePrediction, len(pipelines))
+	var total time.Duration
+	for i, v := range vecs {
+		preds[i] = m.predictVec(v, pipelines[i], mode)
+		preds[i].Index = pipelines[i].Index
+		total += preds[i].Total
+	}
+	return total, preds
+}
+
+// PredictPipeline predicts the execution time of a single pipeline.
+func (m *Model) PredictPipeline(p *Pipeline, mode CardMode) PipelinePrediction {
+	v := m.reg.PipelineVector(p, mode)
+	pred := m.predictVec(v, p, mode)
+	pred.Index = p.Index
+	return pred
+}
+
+func (m *Model) predictVec(v []float64, p *Pipeline, mode CardMode) PipelinePrediction {
+	t := m.flat.Predict(v)
+	perTuple := benchdata.InverseTarget(t)
+	card := feature.SourceCard(p, mode)
+	return PipelinePrediction{
+		PerTupleSeconds: perTuple,
+		Cardinality:     card,
+		Total:           time.Duration(perTuple * card * float64(time.Second)),
+	}
+}
+
+// PredictInterpreted predicts a whole query using the interpreted (struct
+// walking) evaluator instead of the compiled one — the "T3 interpreted" row
+// of Table 1.
+func (m *Model) PredictInterpreted(root *Plan, mode CardMode) time.Duration {
+	vecs, pipelines := m.reg.PlanVectors(root, mode)
+	var total float64
+	for i, v := range vecs {
+		perTuple := benchdata.InverseTarget(m.gbm.Predict(v))
+		total += perTuple * feature.SourceCard(pipelines[i], mode)
+	}
+	return time.Duration(total * float64(time.Second))
+}
+
+// Save writes the model to a JSON file.
+func (m *Model) Save(path string) error {
+	data, err := json.Marshal(m.gbm)
+	if err != nil {
+		return fmt.Errorf("t3: marshal model: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model written by Save.
+func Load(path string) (*Model, error) {
+	gbm, err := gbdt.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewModel(gbm)
+}
+
+// Featurize exposes the pipeline feature encoding for tooling: it returns
+// the feature vectors and pipelines of a plan.
+func Featurize(root *Plan, mode CardMode) ([][]float64, []*Pipeline) {
+	return feature.NewDefaultRegistry().PlanVectors(root, mode)
+}

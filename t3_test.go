@@ -1,0 +1,237 @@
+package t3
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"t3/internal/benchdata"
+	"t3/internal/qerror"
+)
+
+// testCorpus builds a small shared corpus once per test binary: a handful of
+// training instances and the TPC-DS-lite test instances, all at tiny scale.
+var (
+	corpusOnce sync.Once
+	corpus     *benchdata.Corpus
+	corpusErr  error
+)
+
+func smallCorpus(t *testing.T) *benchdata.Corpus {
+	t.Helper()
+	corpusOnce.Do(func() {
+		cfg := benchdata.Config{Scale: 0.05, PerGroup: 3, Runs: 3, Seed: 2, ReleaseTables: true}
+		corpus, corpusErr = benchdata.BuildCorpus(cfg)
+	})
+	if corpusErr != nil {
+		t.Fatal(corpusErr)
+	}
+	return corpus
+}
+
+func trainSmall(t *testing.T, c *benchdata.Corpus) *Model {
+	t.Helper()
+	p := DefaultParams()
+	p.NumRounds = 80
+	m, err := Train(c.AllTrain(), TrainOptions{Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEndToEndTrainAndPredict(t *testing.T) {
+	c := smallCorpus(t)
+	if len(c.Train) < 20 {
+		t.Fatalf("only %d training instances", len(c.Train))
+	}
+	if len(c.Test) != 3 {
+		t.Fatalf("want 3 TPC-DS test instances, got %d", len(c.Test))
+	}
+	m := trainSmall(t, c)
+
+	// Accuracy on the held-out TPC-DS queries: the model has never seen
+	// this schema or data. With a tiny corpus we only require the median
+	// q-error to be sane (the paper reaches ~1.2 with 14k queries).
+	var es []float64
+	for _, b := range c.AllTest() {
+		pred, _ := m.PredictPlan(b.Query.Root, TrueCards)
+		es = append(es, qerror.QError(pred.Seconds(), b.MedianTotal().Seconds()))
+	}
+	s := qerror.Summarize(es)
+	t.Logf("TPC-DS zero-shot q-error: p50=%.2f p90=%.2f avg=%.2f n=%d", s.P50, s.P90, s.Avg, s.N)
+	if s.P50 > 3.0 {
+		t.Errorf("median q-error %.2f too high — model failed to generalize", s.P50)
+	}
+
+	// Training-set accuracy should be clearly better than test.
+	var esTr []float64
+	for _, b := range c.AllTrain()[:200] {
+		pred, _ := m.PredictPlan(b.Query.Root, TrueCards)
+		esTr = append(esTr, qerror.QError(pred.Seconds(), b.MedianTotal().Seconds()))
+	}
+	st := qerror.Summarize(esTr)
+	t.Logf("train q-error: p50=%.2f p90=%.2f avg=%.2f", st.P50, st.P90, st.Avg)
+	if st.P50 > 2.0 {
+		t.Errorf("train median q-error %.2f too high — model failed to fit", st.P50)
+	}
+}
+
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	c := smallCorpus(t)
+	m := trainSmall(t, c)
+	for _, b := range c.AllTest()[:50] {
+		compiled, _ := m.PredictPlan(b.Query.Root, TrueCards)
+		interp := m.PredictInterpreted(b.Query.Root, TrueCards)
+		// The compiled form folds constant trees into the base score
+		// (summation order differs) and PredictPlan rounds each pipeline to
+		// integer nanoseconds. Allow up to 1ns per pipeline plus relative
+		// reassociation noise.
+		floor := float64(len(b.Pipelines)+1) * 1e-9
+		if d := math.Abs(compiled.Seconds() - interp.Seconds()); d > floor+1e-6*compiled.Seconds() {
+			t.Fatalf("%s: compiled %v != interpreted %v", b.Query.Name, compiled, interp)
+		}
+	}
+}
+
+func TestPredictionsSumOverPipelines(t *testing.T) {
+	c := smallCorpus(t)
+	m := trainSmall(t, c)
+	b := c.AllTest()[0]
+	total, per := m.PredictPlan(b.Query.Root, TrueCards)
+	if len(per) != len(b.Pipelines) {
+		t.Fatalf("%d pipeline predictions for %d pipelines", len(per), len(b.Pipelines))
+	}
+	var sum float64
+	for _, p := range per {
+		sum += p.Total.Seconds()
+		if p.Total < 0 || p.PerTupleSeconds < 0 {
+			t.Fatalf("negative prediction: %+v", p)
+		}
+		want := p.PerTupleSeconds * p.Cardinality
+		if math.Abs(want-p.Total.Seconds()) > 1e-6*math.Max(want, 1e-9)+1e-9 {
+			t.Errorf("pipeline %d: total %v != perTuple*card %v", p.Index, p.Total.Seconds(), want)
+		}
+	}
+	if math.Abs(sum-total.Seconds()) > 1e-6 {
+		t.Errorf("sum of pipelines %v != total %v", sum, total.Seconds())
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	c := smallCorpus(t)
+	m := trainSmall(t, c)
+	path := filepath.Join(t.TempDir(), "t3.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range c.AllTest()[:20] {
+		a, _ := m.PredictPlan(b.Query.Root, TrueCards)
+		z, _ := m2.PredictPlan(b.Query.Root, TrueCards)
+		if a != z {
+			t.Fatalf("%s: predictions diverged after save/load", b.Query.Name)
+		}
+	}
+}
+
+func TestFeaturize(t *testing.T) {
+	c := smallCorpus(t)
+	b := c.AllTest()[0]
+	vecs, ps := Featurize(b.Query.Root, TrueCards)
+	if len(vecs) != len(ps) {
+		t.Fatalf("%d vectors for %d pipelines", len(vecs), len(ps))
+	}
+	for _, v := range vecs {
+		nonzero := 0
+		for _, x := range v {
+			if x != 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			t.Error("feature vector is all zeros")
+		}
+	}
+}
+
+func TestTrainErrorsOnEmptyInput(t *testing.T) {
+	if _, err := Train(nil, TrainOptions{}); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+}
+
+func TestPredictPipeline(t *testing.T) {
+	c := smallCorpus(t)
+	m := trainSmall(t, c)
+	b := c.AllTest()[0]
+	total, per := m.PredictPlan(b.Query.Root, TrueCards)
+	var sum float64
+	for i, p := range b.Pipelines {
+		single := m.PredictPipeline(p, TrueCards)
+		if single.Total != per[i].Total {
+			t.Fatalf("pipeline %d: PredictPipeline %v != PredictPlan %v", i, single.Total, per[i].Total)
+		}
+		sum += single.Total.Seconds()
+	}
+	if math.Abs(sum-total.Seconds()) > 1e-6 {
+		t.Errorf("pipeline sum %v != plan total %v", sum, total.Seconds())
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	c := smallCorpus(t)
+	m := trainSmall(t, c)
+	if m.Registry() == nil || m.Boosted() == nil || m.Compiled() == nil {
+		t.Fatal("accessors returned nil")
+	}
+	if m.Registry().NumFeatures() != m.Boosted().NumFeatures {
+		t.Error("registry/model feature mismatch")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/model.json"); err == nil {
+		t.Error("missing model should fail")
+	}
+	// A structurally valid gbdt model with the wrong feature count must be
+	// rejected by NewModel.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"num_features":3,"trees":[],"base_score":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("feature-count mismatch should fail")
+	}
+}
+
+func TestEstCardPredictionUsesEstimates(t *testing.T) {
+	c := smallCorpus(t)
+	m := trainSmall(t, c)
+	// Find a query whose estimates diverge from truth; predictions under
+	// the two modes should then differ.
+	for _, b := range c.AllTest() {
+		root := b.Query.Root
+		diverges := false
+		root.Walk(func(n *Plan) {
+			if n.OutCard.Est > 2*n.OutCard.True+10 || n.OutCard.True > 2*n.OutCard.Est+10 {
+				diverges = true
+			}
+		})
+		if !diverges {
+			continue
+		}
+		pTrue, _ := m.PredictPlan(root, TrueCards)
+		pEst, _ := m.PredictPlan(root, EstCards)
+		if pTrue == pEst {
+			t.Fatalf("%s: predictions identical despite diverging cards", b.Query.Name)
+		}
+		return
+	}
+	t.Skip("no query with diverging estimates found")
+}

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench train compile experiments clean
+.PHONY: all build test vet bench bench-baseline train compile experiments clean
 
 all: build vet test
 
@@ -16,6 +16,11 @@ test:
 # Full benchmark harness: one benchmark per paper table/figure.
 bench:
 	go test -bench=. -benchmem -run xxx .
+
+# Training/prediction perf baseline: BenchmarkTrain across worker counts plus
+# batched prediction, as machine-readable JSON for the perf trajectory.
+bench-baseline:
+	go test -run xxx -bench '^(BenchmarkTrain|BenchmarkPredictBatch)$$' -benchmem -json . > BENCH_train.json
 
 # Rebuild the checked-in model and its compiled form.
 train:

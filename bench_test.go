@@ -8,6 +8,8 @@ package t3_test
 // tables.
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -316,6 +318,64 @@ func BenchmarkFig5_InterpretedMT_1000(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		flat.PredictBatchParallel(vs, 0)
+	}
+}
+
+// --- Parallel training and batched prediction ---------------------------------
+
+// trainCorpus generates a fixed synthetic regression problem large enough for
+// per-feature histogram fan-out to matter.
+func trainCorpus(n int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, 8)
+		for j := range x {
+			x[j] = rng.Float64() * 100
+		}
+		y := x[0]*0.5 + math.Log1p(x[1]) - x[2]*x[3]*0.001
+		if x[4] > 50 {
+			y += 10
+		}
+		xs[i] = x
+		ys[i] = y
+	}
+	return xs, ys
+}
+
+// BenchmarkTrain measures GBDT training wall-clock by worker count on the
+// same corpus; models are bit-for-bit identical across the sub-benchmarks.
+func BenchmarkTrain(b *testing.B) {
+	xs, ys := trainCorpus(16000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := gbdt.DefaultParams()
+			p.NumRounds = 20
+			p.Seed = 5
+			p.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := gbdt.Train(p, xs, ys, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictBatch measures batched whole-plan prediction (featurization
+// + compiled evaluation fanned out over the shared pool) against the
+// one-plan-at-a-time loop of BenchmarkTable1_T3Compiled.
+func BenchmarkPredictBatch(b *testing.B) {
+	m, test := benchQueries(b)
+	roots := make([]*t3.Plan, len(test))
+	for i, q := range test {
+		roots[i] = q.Query.Root
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(roots, t3.TrueCards)
 	}
 }
 

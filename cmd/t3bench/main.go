@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	t3bench [-full] [experiment ...]
+//	t3bench [-full] [-workers n] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
@@ -58,6 +58,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("t3bench: ")
 	full := flag.Bool("full", false, "run the paper-scale configuration (slower)")
+	workers := flag.Int("workers", 0, "parallel workers for training and batched prediction (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func main() {
 	if *full {
 		cfg = experiments.FullConfig()
 	}
+	cfg.Workers = *workers
 	cfg.Corpus.Progress = func(s string) { log.Print(s) }
 	env := experiments.NewEnv(cfg)
 

@@ -1,11 +1,12 @@
 // Command t3predict loads a trained T3 model and predicts the execution
-// time of an annotated physical plan given as JSON (see internal/planio for
-// the schema). It prints the total prediction and the per-pipeline
-// breakdown.
+// time of annotated physical plans given as JSON (see internal/planio for
+// the schema). A single plan prints the total prediction and the
+// per-pipeline breakdown; multiple plans are predicted as one batch across
+// the worker pool and printed as a summary table.
 //
 // Usage:
 //
-//	t3predict -model models/t3_default.json [-cards true|est] plan.json
+//	t3predict -model models/t3_default.json [-cards true|est] plan.json [plan2.json ...]
 //	cat plan.json | t3predict -model models/t3_default.json -
 package main
 
@@ -26,37 +27,51 @@ func main() {
 	var (
 		modelPath = flag.String("model", "models/t3_default.json", "trained model (JSON)")
 		cards     = flag.String("cards", "true", "cardinality annotations to use: true|est")
+		workers   = flag.Int("workers", 0, "parallel workers for batched prediction (0 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "print the feature vectors")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: t3predict [-model m.json] [-cards true|est] <plan.json|->")
+	if flag.NArg() < 1 {
+		log.Fatal("usage: t3predict [-model m.json] [-cards true|est] <plan.json|-> [plan2.json ...]")
 	}
 
-	var data []byte
-	var err error
-	if flag.Arg(0) == "-" {
-		data, err = io.ReadAll(os.Stdin)
-	} else {
-		data, err = os.ReadFile(flag.Arg(0))
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	root, err := planio.Unmarshal(data)
-	if err != nil {
-		log.Fatal(err)
+	roots := make([]*t3.Plan, flag.NArg())
+	for i, arg := range flag.Args() {
+		var data []byte
+		var err error
+		if arg == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(arg)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if roots[i], err = planio.Unmarshal(data); err != nil {
+			log.Fatalf("%s: %v", arg, err)
+		}
 	}
 	model, err := t3.Load(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+	model.SetWorkers(*workers)
 	mode := t3.TrueCards
 	if *cards == "est" {
 		mode = t3.EstCards
 	}
 
+	if len(roots) > 1 {
+		// Many plans: one batched prediction over the worker pool.
+		totals := model.PredictBatch(roots, mode)
+		fmt.Printf("%-30s %14s\n", "plan", "predicted")
+		for i, d := range totals {
+			fmt.Printf("%-30s %14v\n", flag.Arg(i), d)
+		}
+		return
+	}
+
+	root := roots[0]
 	total, per := model.PredictPlan(root, mode)
 	fmt.Printf("predicted execution time: %v\n", total)
 	fmt.Printf("%-10s %14s %14s %14s\n", "pipeline", "per-tuple", "cardinality", "total")

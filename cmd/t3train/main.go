@@ -5,7 +5,7 @@
 // Usage:
 //
 //	t3train [-scale 0.4] [-pergroup 8] [-runs 3] [-rounds 200] [-seed 1] \
-//	        [-o models/t3_default.json]
+//	        [-workers 0] [-o models/t3_default.json]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 		perGroup   = flag.Int("pergroup", 8, "generated queries per structure group per instance (paper: 40)")
 		runs       = flag.Int("runs", 3, "timing runs per query (paper: 10)")
 		rounds     = flag.Int("rounds", 200, "boosting rounds")
+		workers    = flag.Int("workers", 0, "parallel workers for training and prediction (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		out        = flag.String("o", "models/t3_default.json", "output model path")
 		cardMode   = flag.String("cards", "true", "cardinality mode to train on: true|est")
@@ -76,17 +77,24 @@ func main() {
 	}
 	params := t3.DefaultParams()
 	params.NumRounds = *rounds
+	params.Workers = *workers
 	trainStart := time.Now()
 	model, err := t3.Train(corpus.AllTrain(), t3.TrainOptions{Params: params, CardMode: mode})
 	if err != nil {
 		log.Fatal(err)
 	}
+	model.SetWorkers(*workers)
 	log.Printf("trained %d trees in %v", *rounds, time.Since(trainStart).Round(time.Millisecond))
 
-	var es []float64
-	for _, b := range corpus.AllTest() {
-		pred, _ := model.PredictPlan(b.Query.Root, mode)
-		es = append(es, qerror.QError(pred.Seconds(), b.MedianTotal().Seconds()))
+	test := corpus.AllTest()
+	roots := make([]*t3.Plan, len(test))
+	for i, b := range test {
+		roots[i] = b.Query.Root
+	}
+	preds := model.PredictBatch(roots, mode)
+	es := make([]float64, len(test))
+	for i, b := range test {
+		es[i] = qerror.QError(preds[i].Seconds(), b.MedianTotal().Seconds())
 	}
 	s := qerror.Summarize(es)
 	log.Printf("TPC-DS zero-shot accuracy: p50=%.2f p90=%.2f avg=%.2f (n=%d)", s.P50, s.P90, s.Avg, s.N)

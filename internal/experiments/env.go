@@ -42,6 +42,10 @@ type Config struct {
 	// and Figure 14.
 	DeepRunInstances int
 	DeepRuns         int
+	// Workers is the worker count for parallel training and batched
+	// prediction (0 = GOMAXPROCS). Trained models are identical for any
+	// value, so experiment results stay reproducible.
+	Workers int
 }
 
 // QuickConfig returns the configuration used by the repository benchmarks:
@@ -107,12 +111,14 @@ type Env struct {
 // NewEnv creates an environment with the given config.
 func NewEnv(cfg Config) *Env { return &Env{Cfg: cfg} }
 
-// Params returns the boosting parameters for the configured round count.
+// Params returns the boosting parameters for the configured round count and
+// worker count.
 func (e *Env) Params() gbdt.Params {
 	p := gbdt.DefaultParams()
 	if e.Cfg.Rounds > 0 {
 		p.NumRounds = e.Cfg.Rounds
 	}
+	p.Workers = e.Cfg.Workers
 	return p
 }
 
@@ -134,6 +140,9 @@ func (e *Env) T3() (*t3.Model, error) {
 			return
 		}
 		e.t3m, e.t3Err = t3.Train(c.AllTrain(), t3.TrainOptions{Params: e.Params()})
+		if e.t3m != nil {
+			e.t3m.SetWorkers(e.Cfg.Workers)
+		}
 	})
 	return e.t3m, e.t3Err
 }

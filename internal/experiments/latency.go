@@ -3,14 +3,13 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"t3/internal/benchdata"
 	"t3/internal/engine/plan"
+	"t3/internal/par"
 	"t3/internal/qerror"
 	"t3/internal/stage"
 )
@@ -197,12 +196,14 @@ func (e *Env) RunTable2() (*Table2, error) {
 		test = test[:300]
 	}
 
-	// Pre-featurize for batch evaluation: all pipeline vectors with query
-	// boundaries.
+	// Pre-featurize for the interpreted batch row: all pipeline vectors with
+	// query boundaries.
 	var vecs [][]float64
 	var bounds []int
 	var cards []float64
-	for _, b := range test {
+	roots := make([]*plan.Node, len(test))
+	for qi, b := range test {
+		roots[qi] = b.Query.Root
 		vs, ps := m.Registry().PlanVectors(b.Query.Root, plan.TrueCards)
 		vecs = append(vecs, vs...)
 		for _, p := range ps {
@@ -219,23 +220,15 @@ func (e *Env) RunTable2() (*Table2, error) {
 	}
 	t2 := &Table2{}
 
-	// T3 compiled.
+	// T3 compiled: the batched row submits all plans through PredictBatch,
+	// which fans featurization and evaluation out over the worker pool.
 	single := timeIt(5, func() {
 		for _, b := range test {
 			m.PredictPlan(b.Query.Root, plan.TrueCards)
 		}
 	})
 	batched := timeIt(5, func() {
-		outs := m.Compiled().PredictBatch(vecs)
-		lo := 0
-		var sum float64
-		for _, hi := range bounds {
-			for i := lo; i < hi; i++ {
-				sum += benchdata.InverseTarget(outs[i]) * cards[i]
-			}
-			lo = hi
-		}
-		_ = sum
+		m.PredictBatch(roots, plan.TrueCards)
 	})
 	t2.Rows = append(t2.Rows, Table2Row{"T3 (compiled)", qps(single, len(test)), qps(batched, len(test))})
 
@@ -379,7 +372,9 @@ func (e *Env) RunFig5() (*Fig5, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(4))
-	f := &Fig5{Counts: []int{1, 2, 3, 5, 10, 30, 100, 300, 1000}, Workers: runtime.GOMAXPROCS(0)}
+	wp := par.New(e.Cfg.Workers)
+	defer wp.Close()
+	f := &Fig5{Counts: []int{1, 2, 3, 5, 10, 30, 100, 300, 1000}, Workers: wp.Workers()}
 	flat := m.Compiled()
 	gbm := m.Boosted()
 	for _, k := range f.Counts {
@@ -387,6 +382,7 @@ func (e *Env) RunFig5() (*Fig5, error) {
 		for i := range vs {
 			vs[i] = pool[rng.Intn(len(pool))]
 		}
+		chunk := len(vs)/(4*wp.Workers()) + 1
 		f.CompiledST = append(f.CompiledST, timeIt(9, func() {
 			for _, v := range vs {
 				flat.Predict(v)
@@ -398,44 +394,14 @@ func (e *Env) RunFig5() (*Fig5, error) {
 			}
 		}))
 		f.InterpMT = append(f.InterpMT, timeIt(9, func() {
-			parallelInterp(gbm.Predict, vs, f.Workers)
+			wp.For(len(vs), chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					gbm.Predict(vs[i])
+				}
+			})
 		}))
 	}
 	return f, nil
-}
-
-// parallelInterp evaluates vectors across workers with the interpreted
-// model.
-func parallelInterp(predict func([]float64) float64, vs [][]float64, workers int) {
-	if workers > len(vs) {
-		workers = len(vs)
-	}
-	if workers <= 1 {
-		for _, v := range vs {
-			predict(v)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (len(vs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(vs) {
-			hi = len(vs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				predict(vs[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // Format renders Figure 5 as a latency table by pipeline count.

@@ -18,6 +18,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"t3/internal/par"
 )
 
 // Objective selects the training loss.
@@ -62,6 +64,46 @@ type Params struct {
 	BaggingFraction float64
 	// Seed drives all random sampling during training.
 	Seed int64
+	// Workers is the number of parallel workers used while training
+	// (0 = GOMAXPROCS). Training is bit-for-bit deterministic for a fixed
+	// Seed regardless of the worker count, so Workers is an execution
+	// detail, not a model property — it is excluded from serialization.
+	Workers int `json:"-"`
+}
+
+// Validate reports whether the parameters can train a model. The zero Params
+// value is invalid; start from DefaultParams.
+func (p Params) Validate() error {
+	switch {
+	case p.NumRounds < 1:
+		return fmt.Errorf("gbdt: NumRounds must be >= 1, got %d", p.NumRounds)
+	case p.NumLeaves < 2:
+		return fmt.Errorf("gbdt: NumLeaves must be >= 2, got %d", p.NumLeaves)
+	case p.MaxBins < 2 || p.MaxBins > 255:
+		return fmt.Errorf("gbdt: MaxBins must be in [2,255], got %d", p.MaxBins)
+	case p.LearningRate <= 0:
+		return fmt.Errorf("gbdt: LearningRate must be > 0, got %v", p.LearningRate)
+	case p.MinDataInLeaf < 1:
+		return fmt.Errorf("gbdt: MinDataInLeaf must be >= 1, got %d", p.MinDataInLeaf)
+	case p.Lambda < 0:
+		return fmt.Errorf("gbdt: Lambda must be >= 0, got %v", p.Lambda)
+	case p.ValidationFraction < 0 || p.ValidationFraction >= 1:
+		return fmt.Errorf("gbdt: ValidationFraction must be in [0,1), got %v", p.ValidationFraction)
+	case p.EarlyStoppingRounds < 0:
+		return fmt.Errorf("gbdt: EarlyStoppingRounds must be >= 0, got %d", p.EarlyStoppingRounds)
+	case p.FeatureFraction <= 0 || p.FeatureFraction > 1:
+		return fmt.Errorf("gbdt: FeatureFraction must be in (0,1], got %v", p.FeatureFraction)
+	case p.BaggingFraction <= 0 || p.BaggingFraction > 1:
+		return fmt.Errorf("gbdt: BaggingFraction must be in (0,1], got %v", p.BaggingFraction)
+	case p.Workers < 0:
+		return fmt.Errorf("gbdt: Workers must be >= 0, got %d", p.Workers)
+	}
+	switch p.Objective {
+	case ObjectiveL2, ObjectiveMAPE, "":
+	default:
+		return fmt.Errorf("gbdt: unknown objective %q", p.Objective)
+	}
+	return nil
 }
 
 // DefaultParams returns the configuration used throughout the paper: 200
@@ -183,12 +225,12 @@ type binner struct {
 	edges [][]float64
 }
 
-// newBinner computes per-feature quantile cut points from the data.
-func newBinner(xs [][]float64, numFeatures, maxBins int) *binner {
+// newBinner computes per-feature quantile cut points from the data. Features
+// are independent, so cut-point computation fans out across the pool.
+func newBinner(pool *par.Pool, xs [][]float64, numFeatures, maxBins int) *binner {
 	b := &binner{edges: make([][]float64, numFeatures)}
-	vals := make([]float64, 0, len(xs))
-	for f := 0; f < numFeatures; f++ {
-		vals = vals[:0]
+	pool.Do(numFeatures, func(f int) {
+		vals := make([]float64, 0, len(xs))
 		for _, x := range xs {
 			vals = append(vals, x[f])
 		}
@@ -218,7 +260,7 @@ func newBinner(xs [][]float64, numFeatures, maxBins int) *binner {
 			}
 		}
 		b.edges[f] = edges
-	}
+	})
 	return b
 }
 
@@ -247,17 +289,17 @@ type trainData struct {
 	f    int
 }
 
-func newTrainData(b *binner, xs [][]float64, ys []float64) *trainData {
+func newTrainData(pool *par.Pool, b *binner, xs [][]float64, ys []float64) *trainData {
 	n := len(xs)
 	f := len(b.edges)
 	td := &trainData{y: ys, n: n, f: f, bins: make([][]uint8, f)}
-	for fi := 0; fi < f; fi++ {
+	pool.Do(f, func(fi int) {
 		col := make([]uint8, n)
 		for i, x := range xs {
 			col[i] = b.bin(fi, x[fi])
 		}
 		td.bins[fi] = col
-	}
+	})
 	return td
 }
 
@@ -284,11 +326,8 @@ func gradients(obj Objective, preds, ys, g, h []float64) {
 	}
 }
 
-// loss computes the objective value for reporting/early stopping.
-func loss(obj Objective, preds, ys []float64) float64 {
-	if len(ys) == 0 {
-		return 0
-	}
+// lossSum computes the summed objective value over a slice range.
+func lossSum(obj Objective, preds, ys []float64) float64 {
 	s := 0.0
 	switch obj {
 	case ObjectiveMAPE:
@@ -301,6 +340,18 @@ func loss(obj Objective, preds, ys []float64) float64 {
 			s += d * d
 		}
 	}
+	return s
+}
+
+// loss computes the objective value for reporting/early stopping, reducing
+// fixed-size chunks in order so the result is worker-count independent.
+func loss(pool *par.Pool, obj Objective, preds, ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	s := par.MapReduce(pool, len(ys), rowChunk, func(lo, hi int) float64 {
+		return lossSum(obj, preds[lo:hi], ys[lo:hi])
+	}, func(a, b float64) float64 { return a + b }, 0)
 	return s / float64(len(ys))
 }
 
@@ -311,9 +362,16 @@ type TrainResult struct {
 	ValLoss   []float64
 }
 
+// rowChunk is the fixed chunk size of the parallel row loops in Train.
+// Chunking by a constant (rather than by worker count) keeps every
+// floating-point reduction order identical no matter how many workers run,
+// which is what makes parallel training bit-for-bit deterministic.
+const rowChunk = 4096
+
 // Train fits a model on xs/ys. When valX is nil, ValidationFraction of the
 // training data is sampled for validation (matching the paper's use of
-// LightGBM's automatic 20% split).
+// LightGBM's automatic 20% split). Training parallelizes across
+// Params.Workers and produces identical models for any worker count.
 func Train(p Params, xs [][]float64, ys []float64, valX [][]float64, valY []float64) (*Model, *TrainResult, error) {
 	if len(xs) == 0 {
 		return nil, nil, errors.New("gbdt: empty training set")
@@ -321,13 +379,12 @@ func Train(p Params, xs [][]float64, ys []float64, valX [][]float64, valY []floa
 	if len(xs) != len(ys) {
 		return nil, nil, fmt.Errorf("gbdt: %d rows but %d targets", len(xs), len(ys))
 	}
-	if p.NumRounds <= 0 || p.NumLeaves < 2 {
-		return nil, nil, fmt.Errorf("gbdt: invalid params: rounds=%d leaves=%d", p.NumRounds, p.NumLeaves)
-	}
-	if p.MaxBins <= 1 || p.MaxBins > 255 {
-		return nil, nil, fmt.Errorf("gbdt: MaxBins must be in [2,255], got %d", p.MaxBins)
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
+	pool := par.New(p.Workers)
+	defer pool.Close()
 
 	if valX == nil && p.ValidationFraction > 0 && len(xs) >= 10 {
 		perm := rng.Perm(len(xs))
@@ -349,8 +406,8 @@ func Train(p Params, xs [][]float64, ys []float64, valX [][]float64, valY []floa
 	}
 
 	numFeatures := len(xs[0])
-	bnr := newBinner(xs, numFeatures, p.MaxBins)
-	td := newTrainData(bnr, xs, ys)
+	bnr := newBinner(pool, xs, numFeatures, p.MaxBins)
+	td := newTrainData(pool, bnr, xs, ys)
 
 	m := &Model{NumFeatures: numFeatures, Params: p}
 	// Base score: mean target.
@@ -376,22 +433,30 @@ func Train(p Params, xs [][]float64, ys []float64, valX [][]float64, valY []floa
 	res := &TrainResult{}
 	bestVal := math.Inf(1)
 	bestIter := 0
-	grower := newGrower(td, bnr, p, rng)
+	grower := newGrower(td, bnr, p, rng, pool)
 
 	for round := 0; round < p.NumRounds; round++ {
-		gradients(p.Objective, preds, ys, g, h)
+		// Gradient/hessian computation and score updates write disjoint
+		// per-row slots, so chunked fan-out cannot change the result.
+		pool.For(td.n, rowChunk, func(lo, hi int) {
+			gradients(p.Objective, preds[lo:hi], ys[lo:hi], g[lo:hi], h[lo:hi])
+		})
 		tree := grower.grow(g, h)
 		m.Trees = append(m.Trees, *tree)
 
-		for i := 0; i < td.n; i++ {
-			preds[i] += grower.predictBinned(tree, i)
-		}
-		res.TrainLoss = append(res.TrainLoss, loss(p.Objective, preds, ys))
-		if valX != nil {
-			for i, v := range valX {
-				valPreds[i] += tree.Predict(v)
+		pool.For(td.n, rowChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				preds[i] += grower.predictBinned(tree, i)
 			}
-			vl := loss(p.Objective, valPreds, valY)
+		})
+		res.TrainLoss = append(res.TrainLoss, loss(pool, p.Objective, preds, ys))
+		if valX != nil {
+			pool.For(len(valX), 256, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					valPreds[i] += tree.Predict(valX[i])
+				}
+			})
+			vl := loss(pool, p.Objective, valPreds, valY)
 			res.ValLoss = append(res.ValLoss, vl)
 			if vl < bestVal {
 				bestVal = vl

@@ -200,7 +200,7 @@ func TestDeterministicTraining(t *testing.T) {
 
 func TestBinnerMonotonic(t *testing.T) {
 	xs, _ := synth(2000, 9)
-	b := newBinner(xs, 4, 64)
+	b := newBinner(nil, xs, 4, 64)
 	// Property: binning preserves order.
 	f := func(a, c float64) bool {
 		a = math.Mod(math.Abs(a), 10)
@@ -217,7 +217,7 @@ func TestBinnerMonotonic(t *testing.T) {
 
 func TestBinnerThresholdConsistent(t *testing.T) {
 	xs, _ := synth(500, 10)
-	b := newBinner(xs, 4, 32)
+	b := newBinner(nil, xs, 4, 32)
 	// Property: for any value and any bin edge, v <= threshold(bin) iff
 	// bin(v) <= bin. This is what makes real-valued tree thresholds
 	// equivalent to binned splits.

@@ -1,8 +1,9 @@
 package gbdt
 
 import (
-	"math"
 	"math/rand"
+
+	"t3/internal/par"
 )
 
 // leafCand is a tree leaf that may still be split.
@@ -20,33 +21,54 @@ type leafCand struct {
 	bestLC   int
 }
 
+// featSplit is the best split one feature offers for a leaf candidate.
+type featSplit struct {
+	gain   float64
+	feat   int
+	bin    uint8
+	lg, lh float64
+	lc     int
+}
+
+// minParallelRows is the smallest leaf for which per-feature histogram
+// construction fans out across the pool; below it, task-dispatch overhead
+// dominates the histogram work.
+const minParallelRows = 2048
+
 // grower grows one tree per boosting round, reusing its buffers.
 type grower struct {
-	td  *trainData
-	bnr *binner
-	p   Params
-	rng *rand.Rand
+	td   *trainData
+	bnr  *binner
+	p    Params
+	rng  *rand.Rand
+	pool *par.Pool
 
 	idx  []int32 // row partition
 	tmp  []int32 // partition scratch
 	feat []int   // features considered for the current tree
 
+	// Per-feature histogram scratch: feature tasks run concurrently, but
+	// each touches only its own buffers.
 	histG [][]float64
 	histH [][]float64
 	histC [][]int32
+	// featBest collects each feature's candidate split, indexed by position
+	// in feat, so the cross-feature reduction can run in fixed order.
+	featBest []featSplit
 
 	// nodeBins mirrors tree.Nodes with the split bin, letting training
 	// predict on binned rows without keeping raw feature values.
 	nodeBins []uint8
 }
 
-func newGrower(td *trainData, bnr *binner, p Params, rng *rand.Rand) *grower {
-	g := &grower{td: td, bnr: bnr, p: p, rng: rng}
+func newGrower(td *trainData, bnr *binner, p Params, rng *rand.Rand, pool *par.Pool) *grower {
+	g := &grower{td: td, bnr: bnr, p: p, rng: rng, pool: pool}
 	g.idx = make([]int32, td.n)
 	g.tmp = make([]int32, td.n)
 	g.histG = make([][]float64, td.f)
 	g.histH = make([][]float64, td.f)
 	g.histC = make([][]int32, td.f)
+	g.featBest = make([]featSplit, td.f)
 	for f := 0; f < td.f; f++ {
 		nb := bnr.numBins(f)
 		g.histG[f] = make([]float64, nb)
@@ -99,11 +121,20 @@ func (gr *grower) grow(grad, hess []float64) *Tree {
 	gr.nodeBins = gr.nodeBins[:0]
 
 	root := &leafCand{lo: 0, hi: n, parent: -1}
-	for i := 0; i < n; i++ {
-		r := gr.idx[i]
-		root.sumG += grad[r]
-		root.sumH += hess[r]
-	}
+	// Root gradient sums: fixed-size chunks folded in order, so the
+	// floating-point result is identical for every worker count.
+	rs := par.MapReduce(gr.pool, n, rowChunk, func(lo, hi int) [2]float64 {
+		var g, h float64
+		for i := lo; i < hi; i++ {
+			r := gr.idx[i]
+			g += grad[r]
+			h += hess[r]
+		}
+		return [2]float64{g, h}
+	}, func(a, b [2]float64) [2]float64 {
+		return [2]float64{a[0] + b[0], a[1] + b[1]}
+	}, [2]float64{})
+	root.sumG, root.sumH = rs[0], rs[1]
 	gr.findBestSplit(root, grad, hess)
 
 	cands := []*leafCand{root}
@@ -192,62 +223,83 @@ func (gr *grower) partition(lo, hi, f int, b uint8) int {
 	return w
 }
 
-// findBestSplit fills the candidate's best split fields by scanning feature
-// histograms.
+// findBestSplit fills the candidate's best split fields: every considered
+// feature builds its histogram and proposes its best split in parallel
+// (features are independent, each writing only its own scratch buffers), and
+// the cross-feature winner is then reduced sequentially in feature order —
+// the same tie-breaking the serial scan had, for any worker count.
 func (gr *grower) findBestSplit(c *leafCand, grad, hess []float64) {
 	c.bestGain = 0
 	count := c.hi - c.lo
 	if count < 2*gr.p.MinDataInLeaf {
 		return
 	}
-	lambda := gr.p.Lambda
-	parentScore := c.sumG * c.sumG / (c.sumH + lambda)
+	parentScore := c.sumG * c.sumG / (c.sumH + gr.p.Lambda)
 
-	for _, f := range gr.feat {
-		bins := gr.td.bins[f]
-		nb := gr.bnr.numBins(f)
-		if nb < 2 {
+	pool := gr.pool
+	if count < minParallelRows {
+		pool = nil // leaf too small: run the feature scans inline
+	}
+	best := gr.featBest[:len(gr.feat)]
+	pool.Do(len(gr.feat), func(fi int) {
+		best[fi] = gr.scanFeature(gr.feat[fi], c, grad, hess, parentScore)
+	})
+	for _, fb := range best {
+		if fb.gain > c.bestGain {
+			c.bestGain = fb.gain
+			c.bestFeat = fb.feat
+			c.bestBin = fb.bin
+			c.bestLG, c.bestLH, c.bestLC = fb.lg, fb.lh, fb.lc
+		}
+	}
+}
+
+// scanFeature builds the histogram of feature f over the candidate's rows
+// and returns the best split the feature offers (gain 0 if none).
+func (gr *grower) scanFeature(f int, c *leafCand, grad, hess []float64, parentScore float64) featSplit {
+	best := featSplit{feat: f}
+	nb := gr.bnr.numBins(f)
+	if nb < 2 {
+		return best
+	}
+	count := c.hi - c.lo
+	lambda := gr.p.Lambda
+	bins := gr.td.bins[f]
+	hg, hh, hc := gr.histG[f], gr.histH[f], gr.histC[f]
+	for b := 0; b < nb; b++ {
+		hg[b], hh[b], hc[b] = 0, 0, 0
+	}
+	for i := c.lo; i < c.hi; i++ {
+		r := gr.idx[i]
+		b := bins[r]
+		hg[b] += grad[r]
+		hh[b] += hess[r]
+		hc[b]++
+	}
+	var lg, lh float64
+	var lc int
+	// Split on "bin ≤ b" for b in [0, nb-2].
+	for b := 0; b < nb-1; b++ {
+		lg += hg[b]
+		lh += hh[b]
+		lc += int(hc[b])
+		if lc < gr.p.MinDataInLeaf {
 			continue
 		}
-		hg, hh, hc := gr.histG[f], gr.histH[f], gr.histC[f]
-		for b := 0; b < nb; b++ {
-			hg[b], hh[b], hc[b] = 0, 0, 0
+		rc := count - lc
+		if rc < gr.p.MinDataInLeaf {
+			break
 		}
-		for i := c.lo; i < c.hi; i++ {
-			r := gr.idx[i]
-			b := bins[r]
-			hg[b] += grad[r]
-			hh[b] += hess[r]
-			hc[b]++
-		}
-		var lg, lh float64
-		var lc int
-		// Split on "bin ≤ b" for b in [0, nb-2].
-		for b := 0; b < nb-1; b++ {
-			lg += hg[b]
-			lh += hh[b]
-			lc += int(hc[b])
-			if lc < gr.p.MinDataInLeaf {
-				continue
-			}
-			rc := count - lc
-			if rc < gr.p.MinDataInLeaf {
-				break
-			}
-			rg := c.sumG - lg
-			rh := c.sumH - lh
-			gain := lg*lg/(lh+lambda) + rg*rg/(rh+lambda) - parentScore
-			if gain > c.bestGain {
-				c.bestGain = gain
-				c.bestFeat = f
-				c.bestBin = uint8(b)
-				c.bestLG, c.bestLH, c.bestLC = lg, lh, lc
-			}
+		rg := c.sumG - lg
+		rh := c.sumH - lh
+		gain := lg*lg/(lh+lambda) + rg*rg/(rh+lambda) - parentScore
+		if gain > best.gain {
+			best.gain = gain
+			best.bin = uint8(b)
+			best.lg, best.lh, best.lc = lg, lh, lc
 		}
 	}
-	if c.bestGain > 0 && math.IsNaN(c.bestGain) {
-		c.bestGain = 0
-	}
+	return best
 }
 
 // predictBinned evaluates the freshly grown tree for training row r using

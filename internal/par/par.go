@@ -1,0 +1,156 @@
+// Package par provides the shared worker-pool abstraction behind parallel
+// GBDT training and batched prediction.
+//
+// A Pool owns workers-1 long-lived goroutines pulling tasks from an
+// unbuffered channel; the goroutine calling Do participates as the remaining
+// worker by running tasks inline whenever no pool worker is immediately
+// available. This caller-runs design keeps a one-worker pool entirely
+// allocation- and synchronization-free on the dispatch path, makes nested Do
+// calls deadlock-free, and lets a nil *Pool act as a serial executor.
+//
+// Determinism: Do and For guarantee nothing about execution order, but chunk
+// *boundaries* in For and MapReduce depend only on (n, chunk) — never on the
+// worker count — and MapReduce folds partial results in ascending chunk
+// order on the calling goroutine. Any computation whose tasks write disjoint
+// output slots, or that reduces exclusively through MapReduce with a fixed
+// chunk size, therefore produces bit-for-bit identical results for every
+// worker count. The gbdt trainer relies on exactly this contract.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool for fork-join parallelism.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	close   sync.Once
+}
+
+// New creates a pool with the given number of workers (0 means GOMAXPROCS).
+// Pools with more than one worker hold goroutines until Close is called.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan func())
+		// workers-1 goroutines; the Do caller is the final worker.
+		for i := 1; i < workers; i++ {
+			go func() {
+				for task := range p.tasks {
+					task()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Pool
+)
+
+// Shared returns the process-wide pool, sized to GOMAXPROCS at first use and
+// never closed. It is the default executor for batched prediction.
+func Shared() *Pool {
+	sharedOnce.Do(func() { shared = New(0) })
+	return shared
+}
+
+// Workers returns the pool's worker count. A nil pool reports one worker.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close releases the pool's goroutines. The pool must not be used afterwards.
+// Closing a nil or single-worker pool is a no-op; Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	p.close.Do(func() { close(p.tasks) })
+}
+
+// Do runs fn(0) … fn(n-1), distributing calls across the pool, and returns
+// once all have completed. On a nil or single-worker pool every call runs
+// inline on the caller. Tasks must not depend on execution order.
+func (p *Pool) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.tasks == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		task := func() {
+			defer wg.Done()
+			fn(i)
+		}
+		// Hand the task to a parked worker if one is ready; otherwise the
+		// caller runs it, so the pool can never deadlock on nested use.
+		select {
+		case p.tasks <- task:
+		default:
+			task()
+		}
+	}
+	wg.Wait()
+}
+
+// For splits [0, n) into chunks of the given size and runs body(lo, hi) for
+// every chunk in parallel. Chunk boundaries depend only on n and chunk, so a
+// body writing output slots keyed by index produces identical results for
+// any worker count.
+func (p *Pool) For(n, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nc := (n + chunk - 1) / chunk
+	p.Do(nc, func(c int) {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		body(lo, hi)
+	})
+}
+
+// MapReduce splits [0, n) into fixed-size chunks, evaluates mapFn on every
+// chunk in parallel, and folds the partial results in ascending chunk order
+// on the calling goroutine. Because both the chunking and the fold order are
+// independent of the worker count, non-associative reductions (floating-point
+// sums in particular) are bit-for-bit deterministic.
+func MapReduce[T any](p *Pool, n, chunk int, mapFn func(lo, hi int) T, fold func(acc, x T) T, zero T) T {
+	if n <= 0 {
+		return zero
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nc := (n + chunk - 1) / chunk
+	parts := make([]T, nc)
+	p.Do(nc, func(c int) {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		parts[c] = mapFn(lo, hi)
+	})
+	acc := zero
+	for _, x := range parts {
+		acc = fold(acc, x)
+	}
+	return acc
+}

@@ -1,0 +1,125 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 3, 17, 1000} {
+			counts := make([]int32, n)
+			p.Do(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	sum := 0
+	p.Do(5, func(i int) { sum += i })
+	if sum != 10 {
+		t.Fatalf("nil pool Do sum = %d, want 10", sum)
+	}
+	p.Close() // must not panic
+}
+
+func TestForCoversRangeExactly(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 5, 100, 101} {
+		for _, chunk := range []int{0, 1, 7, 100, 1000} {
+			seen := make([]int32, n)
+			p.For(n, chunk, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d chunk=%d: index %d covered %d times", n, chunk, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapReduceFoldsInChunkOrder(t *testing.T) {
+	// String concatenation is non-commutative: any out-of-order fold or
+	// worker-count-dependent chunking changes the result.
+	want := ""
+	for c := 0; c*3 < 20; c++ {
+		lo := c * 3
+		hi := min(lo+3, 20)
+		want += fmt.Sprintf("[%d,%d)", lo, hi)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		got := MapReduce(p, 20, 3, func(lo, hi int) string {
+			return fmt.Sprintf("[%d,%d)", lo, hi)
+		}, func(a, b string) string { return a + b }, "")
+		p.Close()
+		if got != want {
+			t.Fatalf("workers=%d: fold order broken:\ngot  %s\nwant %s", workers, got, want)
+		}
+	}
+}
+
+func TestMapReduceFloatDeterminism(t *testing.T) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = 1.0 / float64(i+3)
+	}
+	sum := func(workers int) float64 {
+		p := New(workers)
+		defer p.Close()
+		return MapReduce(p, len(xs), 512, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b }, 0)
+	}
+	base := sum(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := sum(w); got != base {
+			t.Fatalf("workers=%d sum %v != workers=1 sum %v", w, got, base)
+		}
+	}
+}
+
+func TestNestedDo(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total int64
+	p.Do(8, func(i int) {
+		p.Do(8, func(j int) { atomic.AddInt64(&total, 1) })
+	})
+	if total != 64 {
+		t.Fatalf("nested Do ran %d tasks, want 64", total)
+	}
+}
+
+func TestSharedIsSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared returned different pools")
+	}
+	if Shared().Workers() < 1 {
+		t.Fatalf("shared pool has %d workers", Shared().Workers())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"t3/internal/engine/plan"
 	"t3/internal/feature"
 	"t3/internal/gbdt"
+	"t3/internal/par"
 	"t3/internal/treec"
 )
 
@@ -62,12 +63,20 @@ const (
 // roughly 30 leaves, MAPE objective, 20% validation split.
 func DefaultParams() Params { return gbdt.DefaultParams() }
 
-// Model is a trained T3 performance predictor.
+// Model is a trained T3 performance predictor. All prediction methods are
+// safe for concurrent use.
 type Model struct {
 	reg  *feature.Registry
 	gbm  *gbdt.Model
 	flat *treec.Flat
+	// workers sizes the pool PredictBatch fans out over (0 = the shared
+	// GOMAXPROCS-sized pool).
+	workers int
 }
+
+// SetWorkers configures how many workers PredictBatch uses (0 = GOMAXPROCS
+// via the process-wide shared pool).
+func (m *Model) SetWorkers(n int) { m.workers = n }
 
 // Registry returns the feature registry used by the model.
 func (m *Model) Registry() *feature.Registry { return m.reg }
@@ -148,6 +157,27 @@ func (m *Model) PredictPlan(root *Plan, mode CardMode) (time.Duration, []Pipelin
 		total += preds[i].Total
 	}
 	return total, preds
+}
+
+// PredictBatch predicts the execution time of many plans at once,
+// featurizing and evaluating them across the worker pool (see SetWorkers).
+// out[i] corresponds to roots[i]. For throughput-bound callers — schedulers
+// admitting a queue of queries, join enumeration over candidate plans — this
+// replaces the one-plan-at-a-time PredictPlan loop.
+func (m *Model) PredictBatch(roots []*Plan, mode CardMode) []time.Duration {
+	out := make([]time.Duration, len(roots))
+	pool := par.Shared()
+	if m.workers > 0 {
+		pool = par.New(m.workers)
+		defer pool.Close()
+	}
+	chunk := len(roots)/(4*pool.Workers()) + 1
+	pool.For(len(roots), chunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], _ = m.PredictPlan(roots[i], mode)
+		}
+	})
+	return out
 }
 
 // PredictPipeline predicts the execution time of a single pipeline.

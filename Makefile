@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-baseline train compile experiments clean
+.PHONY: all build test vet bench bench-baseline bench-predict train compile experiments clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ bench:
 # batched prediction, as machine-readable JSON for the perf trajectory.
 bench-baseline:
 	go test -run xxx -bench '^(BenchmarkTrain|BenchmarkPredictBatch)$$' -benchmem -json . > BENCH_train.json
+
+# Prediction hot-path smoke: single/batch prediction benchmarks with alloc
+# counts, as machine-readable JSON (mirrors the CI bench-smoke job).
+bench-predict:
+	go test -run xxx -bench=Predict -benchtime=100x -benchmem -json . > BENCH_predict.json
 
 # Rebuild the checked-in model and its compiled form.
 train:

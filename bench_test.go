@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"t3"
 	"t3/internal/benchdata"
@@ -143,6 +144,60 @@ func BenchmarkTable1_ModelEvalGenerated(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		compiled.Predict(vs[i%len(vs)])
 	}
+}
+
+func BenchmarkTable1_ModelEvalPacked(b *testing.B) {
+	m, _, vs := defaultModelVectors(b)
+	packed := treec.Pack(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packed.Predict(vs[i%len(vs)])
+	}
+}
+
+// BenchmarkPredictSingle contrasts the pre-packed hot path (allocate fresh
+// vectors via PlanVectors, evaluate on the flattened float64 tier) with the
+// allocation-free scratch path over the packed tier. The packed/scratch row
+// must win on ns/op and report 0 allocs/op.
+func BenchmarkPredictSingle(b *testing.B) {
+	m, test := benchQueries(b)
+	flat := m.Compiled()
+	b.Run("flat-featurize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			root := test[i%len(test)].Query.Root
+			vecs, _ := m.Registry().PlanVectors(root, t3.TrueCards)
+			for _, v := range vecs {
+				flat.Predict(v)
+			}
+		}
+	})
+	b.Run("packed-scratch", func(b *testing.B) {
+		var s t3.PredictScratch
+		for _, q := range test {
+			m.PredictPlanScratch(q.Query.Root, t3.TrueCards, &s)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PredictPlanScratch(test[i%len(test)].Query.Root, t3.TrueCards, &s)
+		}
+	})
+	b.Run("packed-batch", func(b *testing.B) {
+		roots := make([]*t3.Plan, len(test))
+		for i, q := range test {
+			roots[i] = q.Query.Root
+		}
+		out := make([]time.Duration, len(roots))
+		m.PredictBatchInto(roots, t3.TrueCards, out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PredictBatchInto(roots, t3.TrueCards, out)
+		}
+		// Report per-plan cost so the row is comparable to the others.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(roots)), "ns/plan")
+	})
 }
 
 // --- Table 2: throughput ---------------------------------------------------

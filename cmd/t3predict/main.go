@@ -16,10 +16,31 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
+	"time"
 
 	"t3"
 	"t3/internal/planio"
 )
+
+// measureLatency times reps scratch-path predictions of every plan and
+// returns the p50/p95/p99 of the per-prediction latency distribution.
+func measureLatency(model *t3.Model, roots []*t3.Plan, mode t3.CardMode, reps int) (p50, p95, p99 time.Duration) {
+	var s t3.PredictScratch
+	for _, r := range roots { // warm the scratch so timing sees steady state
+		model.PredictPlanScratch(r, mode, &s)
+	}
+	ds := make([]time.Duration, 0, reps*len(roots))
+	for i := 0; i < reps; i++ {
+		for _, r := range roots {
+			start := time.Now()
+			model.PredictPlanScratch(r, mode, &s)
+			ds = append(ds, time.Since(start))
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2], ds[len(ds)*95/100], ds[len(ds)*99/100]
+}
 
 func main() {
 	log.SetFlags(0)
@@ -68,12 +89,17 @@ func main() {
 		for i, d := range totals {
 			fmt.Printf("%-30s %14v\n", flag.Arg(i), d)
 		}
+		p50, p95, p99 := measureLatency(model, roots, mode, 100)
+		fmt.Printf("evaluation tier: %s\n", model.Tier())
+		fmt.Printf("per-query prediction latency: p50 %v, p95 %v, p99 %v\n", p50, p95, p99)
 		return
 	}
 
 	root := roots[0]
 	total, per := model.PredictPlan(root, mode)
 	fmt.Printf("predicted execution time: %v\n", total)
+	p50, p95, p99 := measureLatency(model, roots, mode, 300)
+	fmt.Printf("evaluation tier: %s; prediction latency: p50 %v, p95 %v, p99 %v\n", model.Tier(), p50, p95, p99)
 	fmt.Printf("%-10s %14s %14s %14s\n", "pipeline", "per-tuple", "cardinality", "total")
 	for _, p := range per {
 		fmt.Printf("P%-9d %12.3gs %14.0f %14v\n", p.Index, p.PerTupleSeconds, p.Cardinality, p.Total)

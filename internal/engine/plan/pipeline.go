@@ -83,48 +83,87 @@ func (p *Pipeline) String() string {
 // that consume their materialized state. The final pipeline produces the
 // query result.
 func Decompose(root *Node) []*Pipeline {
-	var done []*Pipeline
+	return DecomposeInto(root, &PipelineScratch{})
+}
 
-	var visit func(n *Node) *Pipeline
-	visit = func(n *Node) *Pipeline {
-		switch n.Op {
-		case TableScanOp:
-			return &Pipeline{Stages: []StageRef{{Node: n, Stage: StageScan}}}
+// PipelineScratch holds reusable pipeline storage for DecomposeInto. After a
+// few calls its capacities stabilize and decomposition stops allocating; the
+// prediction hot path keeps one scratch per caller. The zero value is ready
+// to use.
+type PipelineScratch struct {
+	pipes []*Pipeline
+	used  int
+	done  []*Pipeline
+}
 
-		case FilterOp, MapOp, LimitOp:
-			p := visit(n.Left)
-			p.Stages = append(p.Stages, StageRef{Node: n, Stage: StagePassThrough})
-			return p
-
-		case HashJoinOp:
-			// Build side: close its pipeline at our build stage.
-			pb := visit(n.Left)
-			pb.Stages = append(pb.Stages, StageRef{Node: n, Stage: StageBuild})
-			pb.Index = len(done)
-			done = append(done, pb)
-			// Probe side: continue the open pipeline through our probe stage.
-			pp := visit(n.Right)
-			pp.Stages = append(pp.Stages, StageRef{Node: n, Stage: StageProbe})
-			return pp
-
-		case GroupByOp, SortOp, WindowOp, MaterializeOp:
-			// Input pipeline ends at our build stage.
-			pb := visit(n.Left)
-			pb.Stages = append(pb.Stages, StageRef{Node: n, Stage: StageBuild})
-			pb.Index = len(done)
-			done = append(done, pb)
-			// A new pipeline starts scanning our materialized state.
-			return &Pipeline{Stages: []StageRef{{Node: n, Stage: StageScan}}}
-
-		default:
-			panic(fmt.Sprintf("plan: unknown operator %v", n.Op))
-		}
+// next returns the scratch's next reusable pipeline, emptied.
+func (s *PipelineScratch) next() *Pipeline {
+	if s.used == len(s.pipes) {
+		s.pipes = append(s.pipes, &Pipeline{})
 	}
+	p := s.pipes[s.used]
+	s.used++
+	p.Index = 0
+	p.Stages = p.Stages[:0]
+	return p
+}
 
-	last := visit(root)
-	last.Index = len(done)
-	done = append(done, last)
-	return done
+// DecomposeInto is Decompose over caller-owned scratch storage: the returned
+// pipelines (and the slice holding them) belong to the scratch and are valid
+// only until its next DecomposeInto call.
+func DecomposeInto(root *Node, s *PipelineScratch) []*Pipeline {
+	s.used = 0
+	s.done = s.done[:0]
+	d := decomposer{s: s}
+	last := d.visit(root)
+	last.Index = len(s.done)
+	s.done = append(s.done, last)
+	return s.done
+}
+
+// decomposer carries the scratch through the recursive walk as a method
+// receiver rather than a closure, keeping the walk allocation-free.
+type decomposer struct {
+	s *PipelineScratch
+}
+
+func (d *decomposer) visit(n *Node) *Pipeline {
+	switch n.Op {
+	case TableScanOp:
+		p := d.s.next()
+		p.Stages = append(p.Stages, StageRef{Node: n, Stage: StageScan})
+		return p
+
+	case FilterOp, MapOp, LimitOp:
+		p := d.visit(n.Left)
+		p.Stages = append(p.Stages, StageRef{Node: n, Stage: StagePassThrough})
+		return p
+
+	case HashJoinOp:
+		// Build side: close its pipeline at our build stage.
+		pb := d.visit(n.Left)
+		pb.Stages = append(pb.Stages, StageRef{Node: n, Stage: StageBuild})
+		pb.Index = len(d.s.done)
+		d.s.done = append(d.s.done, pb)
+		// Probe side: continue the open pipeline through our probe stage.
+		pp := d.visit(n.Right)
+		pp.Stages = append(pp.Stages, StageRef{Node: n, Stage: StageProbe})
+		return pp
+
+	case GroupByOp, SortOp, WindowOp, MaterializeOp:
+		// Input pipeline ends at our build stage.
+		pb := d.visit(n.Left)
+		pb.Stages = append(pb.Stages, StageRef{Node: n, Stage: StageBuild})
+		pb.Index = len(d.s.done)
+		d.s.done = append(d.s.done, pb)
+		// A new pipeline starts scanning our materialized state.
+		p := d.s.next()
+		p.Stages = append(p.Stages, StageRef{Node: n, Stage: StageScan})
+		return p
+
+	default:
+		panic(fmt.Sprintf("plan: unknown operator %v", n.Op))
+	}
 }
 
 // StageOf returns the stage the node executes within the pipeline containing

@@ -184,3 +184,58 @@ func TestSchemaWidthAndProject(t *testing.T) {
 		t.Error("projection should replace schema")
 	}
 }
+
+// joinAggPlan builds the running-example shape used by the Decompose tests.
+func joinAggPlan(t *testing.T) *Node {
+	t.Helper()
+	t1 := testTable(t, "t1", 100)
+	t2 := testTable(t, "t2", 1000)
+	s1 := NewTableScan(t1, []int{0, 1})
+	s2 := NewTableScan(t2, []int{0, 1})
+	join := NewHashJoin(s1, s2, []int{0}, []int{0}, []int{1})
+	gb := NewGroupBy(join, []int{0}, []Agg{{Fn: AggSum, Col: 1}}, []string{"s"})
+	return NewSort(gb, []int{1}, []bool{true})
+}
+
+func TestDecomposeIntoMatchesDecompose(t *testing.T) {
+	root := joinAggPlan(t)
+	want := Decompose(root)
+	var s PipelineScratch
+	// Repeated use of one scratch must keep producing the same pipelines.
+	for rep := 0; rep < 3; rep++ {
+		got := DecomposeInto(root, &s)
+		if err := ValidatePipelines(got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rep %d: %d pipelines, want %d", rep, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Index != want[i].Index || len(got[i].Stages) != len(want[i].Stages) {
+				t.Fatalf("rep %d pipeline %d: %v != %v", rep, i, got[i], want[i])
+			}
+			for j := range got[i].Stages {
+				if got[i].Stages[j] != want[i].Stages[j] {
+					t.Fatalf("rep %d pipeline %d stage %d differs", rep, i, j)
+				}
+			}
+		}
+	}
+	// The scratch adapts when switching to a different (smaller) plan.
+	scanOnly := NewTableScan(testTable(t, "t3", 10), []int{0})
+	got := DecomposeInto(scanOnly, &s)
+	if len(got) != 1 || len(got[0].Stages) != 1 {
+		t.Fatalf("scan-only decomposition wrong: %v", got)
+	}
+}
+
+func TestDecomposeIntoZeroAlloc(t *testing.T) {
+	root := joinAggPlan(t)
+	var s PipelineScratch
+	DecomposeInto(root, &s) // warm the scratch capacities
+	if allocs := testing.AllocsPerRun(100, func() {
+		DecomposeInto(root, &s)
+	}); allocs != 0 {
+		t.Fatalf("DecomposeInto allocates %.1f objects per run, want 0", allocs)
+	}
+}

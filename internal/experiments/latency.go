@@ -5,9 +5,12 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
+	t3 "t3"
 	"t3/internal/benchdata"
+	"t3/internal/compiled"
 	"t3/internal/engine/plan"
 	"t3/internal/par"
 	"t3/internal/qerror"
@@ -42,12 +45,39 @@ type Table1 struct {
 	// (decomposition + featurization + model).
 	T3Interp   time.Duration
 	T3Compiled time.Duration
+	// T3Packed measures the full path on the allocation-free scratch API
+	// over the packed (16-byte node) tier, with per-query latency
+	// percentiles and steady-state heap allocations per prediction.
+	T3Packed       time.Duration
+	T3PackedP50    time.Duration
+	T3PackedP99    time.Duration
+	T3PackedAllocs float64
 	// T3ModelInterp and T3ModelCompiled isolate the model-evaluation step
 	// on pre-featurized vectors — the direct analogue of the paper's
 	// LightGBM-interpreted vs lleaves-compiled contrast (22us -> 4us).
+	// T3ModelPacked is the same step on the packed tier, and T3ModelGenGo
+	// on the ahead-of-time generated Go code (zero when the checked-in
+	// generated model does not match the registry).
 	T3ModelInterp   time.Duration
 	T3ModelCompiled time.Duration
+	T3ModelPacked   time.Duration
+	T3ModelGenGo    time.Duration
 	AvgPipelines    float64
+}
+
+// latencyPercentiles times f once per (query, rep) pair and returns the p50
+// and p99 of the per-call latency distribution.
+func latencyPercentiles(test []*benchdata.BenchedQuery, reps int, f func(*benchdata.BenchedQuery)) (p50, p99 time.Duration) {
+	ds := make([]time.Duration, 0, len(test)*reps)
+	for r := 0; r < reps; r++ {
+		for _, b := range test {
+			start := time.Now()
+			f(b)
+			ds = append(ds, time.Since(start))
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2], ds[len(ds)*99/100]
 }
 
 // RunTable1 measures single-query prediction latency for every model tier.
@@ -94,6 +124,20 @@ func (e *Env) RunTable1() (*Table1, error) {
 	res.T3Compiled = perQuery(func(b *benchdata.BenchedQuery) { m.PredictPlan(b.Query.Root, plan.TrueCards) })
 	res.T3Interp = perQuery(func(b *benchdata.BenchedQuery) { m.PredictInterpreted(b.Query.Root, plan.TrueCards) })
 
+	// Packed tier over the reusable scratch: the allocation-free hot path.
+	var scratch t3.PredictScratch
+	m.PredictPlanScratch(test[0].Query.Root, plan.TrueCards, &scratch) // warm up
+	res.T3Packed = perQuery(func(b *benchdata.BenchedQuery) {
+		m.PredictPlanScratch(b.Query.Root, plan.TrueCards, &scratch)
+	})
+	res.T3PackedP50, res.T3PackedP99 = latencyPercentiles(test, inner, func(b *benchdata.BenchedQuery) {
+		m.PredictPlanScratch(b.Query.Root, plan.TrueCards, &scratch)
+	})
+	warmRoot := test[0].Query.Root
+	res.T3PackedAllocs = testing.AllocsPerRun(100, func() {
+		m.PredictPlanScratch(warmRoot, plan.TrueCards, &scratch)
+	})
+
 	// Model-only latency per query on pre-featurized pipeline vectors.
 	var queryVecs [][][]float64
 	for _, b := range test {
@@ -120,6 +164,29 @@ func (e *Env) RunTable1() (*Table1, error) {
 			}
 		}
 	}) / time.Duration(len(test)*inner)
+	packed := m.Packed()
+	res.T3ModelPacked = timeIt(7, func() {
+		for _, vs := range queryVecs {
+			for i := 0; i < inner; i++ {
+				for _, v := range vs {
+					packed.Predict(v)
+				}
+			}
+		}
+	}) / time.Duration(len(test)*inner)
+	// The checked-in generated code only applies when it was compiled from a
+	// model with the same feature schema as this registry.
+	if compiled.NumFeatures() == m.Registry().NumFeatures() {
+		res.T3ModelGenGo = timeIt(7, func() {
+			for _, vs := range queryVecs {
+				for i := 0; i < inner; i++ {
+					for _, v := range vs {
+						compiled.Predict(v)
+					}
+				}
+			}
+		}) / time.Duration(len(test)*inner)
+	}
 	res.ZeroShotNN = perQuery(func(b *benchdata.BenchedQuery) { nn.PredictSeconds(b.Query.Root, plan.TrueCards) })
 	res.StageDT = perQuery(func(b *benchdata.BenchedQuery) { dt.PredictSeconds(b.Query.Root, plan.TrueCards) })
 
@@ -159,8 +226,15 @@ func (t *Table1) Format() string {
 	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "Stage", fmtDur(t.StageCache), fmtDur(t.StageDT), fmtDur(t.StageNN), fmtDur(t.StageAvg))
 	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "T3 interpreted", "-", fmtDur(t.T3Interp), "-", fmtDur(t.T3Interp))
 	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "T3 (ours)", "-", fmtDur(t.T3Compiled), "-", fmtDur(t.T3Compiled))
-	fmt.Fprintf(&sb, "model eval only: interpreted %s, compiled %s per query\n",
-		fmtDur(t.T3ModelInterp), fmtDur(t.T3ModelCompiled))
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "T3 packed", "-", fmtDur(t.T3Packed), "-", fmtDur(t.T3Packed))
+	fmt.Fprintf(&sb, "T3 packed percentiles: p50 %s, p99 %s, %.0f allocs/op (scratch path)\n",
+		fmtDur(t.T3PackedP50), fmtDur(t.T3PackedP99), t.T3PackedAllocs)
+	fmt.Fprintf(&sb, "model eval only: interpreted %s, compiled %s, packed %s per query",
+		fmtDur(t.T3ModelInterp), fmtDur(t.T3ModelCompiled), fmtDur(t.T3ModelPacked))
+	if t.T3ModelGenGo > 0 {
+		fmt.Fprintf(&sb, ", genGo %s", fmtDur(t.T3ModelGenGo))
+	}
+	sb.WriteString("\n")
 	return sb.String()
 }
 

@@ -219,6 +219,50 @@ func (r *Registry) PipelineVectorInto(p *plan.Pipeline, mode plan.CardMode, vec 
 	}
 }
 
+// AppendVec appends the pipeline's feature vector (NumFeatures values) to
+// dst and returns the extended slice. Callers that reuse dst's backing array
+// across calls featurize whole plans into one contiguous buffer without
+// allocating — the packed evaluator's preferred input layout.
+func (r *Registry) AppendVec(dst []float64, p *plan.Pipeline, mode plan.CardMode) []float64 {
+	n := len(dst)
+	if cap(dst)-n < r.numFeat {
+		grown := make([]float64, n, 2*n+r.numFeat)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:n+r.numFeat]
+	r.PipelineVectorInto(p, mode, dst[n:])
+	return dst
+}
+
+// Scratch holds reusable storage for allocation-free plan featurization:
+// pipeline decomposition state, one flat buffer backing all pipeline
+// vectors, and the vector views into it. The zero value is ready to use.
+type Scratch struct {
+	Pipes plan.PipelineScratch
+	buf   []float64
+	vecs  [][]float64
+}
+
+// FeaturizeInto decomposes a plan and encodes every pipeline into the
+// scratch, returning the vectors and pipelines. Both alias the scratch and
+// are valid only until its next FeaturizeInto call; after a few calls the
+// scratch capacities stabilize and featurization stops allocating.
+func (r *Registry) FeaturizeInto(s *Scratch, root *plan.Node, mode plan.CardMode) ([][]float64, []*plan.Pipeline) {
+	ps := plan.DecomposeInto(root, &s.Pipes)
+	s.buf = s.buf[:0]
+	for _, p := range ps {
+		s.buf = r.AppendVec(s.buf, p, mode)
+	}
+	// Views are cut only after the buffer stops growing, so they can never
+	// dangle into a reallocated backing array.
+	s.vecs = s.vecs[:0]
+	for i := range ps {
+		s.vecs = append(s.vecs, s.buf[i*r.numFeat:(i+1)*r.numFeat])
+	}
+	return s.vecs, ps
+}
+
 // PlanVectors decomposes a plan and encodes all pipelines. It returns the
 // vectors together with the pipelines so callers can pair predictions with
 // source cardinalities.

@@ -251,3 +251,76 @@ func TestDescribeOmitsZeros(t *testing.T) {
 		t.Errorf("describe should print exactly one line, got %q", out)
 	}
 }
+
+// scratchTestPlan builds a small scan -> join -> group-by plan with true
+// cardinalities annotated.
+func scratchTestPlan(t *testing.T) *plan.Node {
+	t.Helper()
+	scan := plan.NewTableScan(q5LikeTable(), []int{0, 1},
+		expr.NewBetween(expr.Col(1, "c_nationkey", storage.Int64), expr.ConstInt(8), expr.ConstInt(21)))
+	probe := plan.NewTableScan(q5LikeTable(), []int{0})
+	join := plan.NewHashJoin(scan, probe, []int{0}, []int{0}, nil)
+	gb := plan.NewGroupBy(join, []int{0}, nil, nil)
+	if err := exec.AnnotateTrueCards(gb); err != nil {
+		t.Fatal(err)
+	}
+	return gb
+}
+
+func TestAppendVecMatchesPipelineVector(t *testing.T) {
+	root := scratchTestPlan(t)
+	r := NewDefaultRegistry()
+	ps := plan.Decompose(root)
+	var buf []float64
+	for _, p := range ps {
+		buf = r.AppendVec(buf, p, plan.TrueCards)
+	}
+	if len(buf) != len(ps)*r.NumFeatures() {
+		t.Fatalf("buffer has %d values, want %d", len(buf), len(ps)*r.NumFeatures())
+	}
+	for i, p := range ps {
+		want := r.PipelineVector(p, plan.TrueCards)
+		got := buf[i*r.NumFeatures() : (i+1)*r.NumFeatures()]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("pipeline %d feature %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFeaturizeIntoMatchesPlanVectors(t *testing.T) {
+	root := scratchTestPlan(t)
+	r := NewDefaultRegistry()
+	wantVecs, wantPs := r.PlanVectors(root, plan.TrueCards)
+	var s Scratch
+	for rep := 0; rep < 3; rep++ {
+		vecs, ps := r.FeaturizeInto(&s, root, plan.TrueCards)
+		if len(vecs) != len(wantVecs) || len(ps) != len(wantPs) {
+			t.Fatalf("rep %d: %d vecs / %d pipelines, want %d / %d",
+				rep, len(vecs), len(ps), len(wantVecs), len(wantPs))
+		}
+		for i := range vecs {
+			if ps[i].Index != wantPs[i].Index {
+				t.Fatalf("rep %d: pipeline %d has index %d, want %d", rep, i, ps[i].Index, wantPs[i].Index)
+			}
+			for j := range vecs[i] {
+				if vecs[i][j] != wantVecs[i][j] {
+					t.Fatalf("rep %d pipeline %d feature %d: %v != %v", rep, i, j, vecs[i][j], wantVecs[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestFeaturizeIntoZeroAlloc(t *testing.T) {
+	root := scratchTestPlan(t)
+	r := NewDefaultRegistry()
+	var s Scratch
+	r.FeaturizeInto(&s, root, plan.TrueCards) // warm the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.FeaturizeInto(&s, root, plan.TrueCards)
+	}); allocs != 0 {
+		t.Fatalf("FeaturizeInto allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -27,6 +27,9 @@ type Pool struct {
 	workers int
 	tasks   chan func()
 	close   sync.Once
+	// persistent marks process-wide cached pools (Shared, Sized) whose
+	// goroutines must outlive any single caller; Close is a no-op on them.
+	persistent bool
 }
 
 // New creates a pool with the given number of workers (0 means GOMAXPROCS).
@@ -53,13 +56,42 @@ func New(workers int) *Pool {
 var (
 	sharedOnce sync.Once
 	shared     *Pool
+
+	sizedMu    sync.Mutex
+	sizedPools map[int]*Pool
 )
 
 // Shared returns the process-wide pool, sized to GOMAXPROCS at first use and
 // never closed. It is the default executor for batched prediction.
 func Shared() *Pool {
-	sharedOnce.Do(func() { shared = New(0) })
+	sharedOnce.Do(func() {
+		shared = New(0)
+		shared.persistent = true
+	})
 	return shared
+}
+
+// Sized returns a process-wide cached pool with exactly the given worker
+// count (0 or GOMAXPROCS map to the shared pool). Unlike New, repeated calls
+// with the same count reuse one long-lived pool, so hot paths that honour a
+// per-call worker override never pay goroutine construction or teardown.
+// Cached pools are never closed; Close on them is a no-op.
+func Sized(workers int) *Pool {
+	if workers <= 0 || workers == runtime.GOMAXPROCS(0) {
+		return Shared()
+	}
+	sizedMu.Lock()
+	defer sizedMu.Unlock()
+	if p, ok := sizedPools[workers]; ok {
+		return p
+	}
+	p := New(workers)
+	p.persistent = true
+	if sizedPools == nil {
+		sizedPools = make(map[int]*Pool)
+	}
+	sizedPools[workers] = p
+	return p
 }
 
 // Workers returns the pool's worker count. A nil pool reports one worker.
@@ -71,9 +103,10 @@ func (p *Pool) Workers() int {
 }
 
 // Close releases the pool's goroutines. The pool must not be used afterwards.
-// Closing a nil or single-worker pool is a no-op; Close is idempotent.
+// Closing a nil, single-worker, or process-wide cached pool is a no-op; Close
+// is idempotent.
 func (p *Pool) Close() {
-	if p == nil || p.tasks == nil {
+	if p == nil || p.tasks == nil || p.persistent {
 		return
 	}
 	p.close.Do(func() { close(p.tasks) })

@@ -2,6 +2,8 @@ package par
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -121,5 +123,47 @@ func TestSharedIsSingleton(t *testing.T) {
 	}
 	if Shared().Workers() < 1 {
 		t.Fatalf("shared pool has %d workers", Shared().Workers())
+	}
+}
+
+func TestSizedPoolsAreCached(t *testing.T) {
+	if Sized(0) != Shared() {
+		t.Fatal("Sized(0) should be the shared pool")
+	}
+	if Sized(runtime.GOMAXPROCS(0)) != Shared() {
+		t.Fatal("Sized(GOMAXPROCS) should be the shared pool")
+	}
+	p1, p2 := Sized(3), Sized(3)
+	if p1 != p2 {
+		t.Fatal("Sized(3) returned different pools across calls")
+	}
+	if p1.Workers() != 3 {
+		t.Fatalf("Sized(3) has %d workers", p1.Workers())
+	}
+	// Cached pools survive Close: a no-op so one caller cannot tear the
+	// pool down under another.
+	p1.Close()
+	var total int64
+	p1.Do(16, func(i int) { atomic.AddInt64(&total, 1) })
+	if total != 16 {
+		t.Fatalf("pool ran %d tasks after Close, want 16", total)
+	}
+}
+
+func TestSizedConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	pools := make([]*Pool, 16)
+	for i := range pools {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pools[i] = Sized(5)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(pools); i++ {
+		if pools[i] != pools[0] {
+			t.Fatal("concurrent Sized(5) returned different pools")
+		}
 	}
 }

@@ -2,19 +2,27 @@
 // evaluation — the stand-in for the lleaves/LLVM compiler in the paper
 // (§2.6).
 //
-// Three evaluation tiers are provided:
+// Four evaluation tiers are provided:
 //
 //  1. The interpreted tier lives in package gbdt: pointer-walking over node
 //     structs, analogous to LightGBM's built-in evaluator.
 //  2. Flatten converts the ensemble into contiguous struct-of-arrays form
 //     evaluated by a tight loop — removing per-tree allocation, bounds
 //     checks via slicing, and pointer chasing.
-//  3. GenGo emits Go source: each internal node becomes one comparison and
+//  3. Pack (packed.go) is the cache-packed serving tier: every node is one
+//     16-byte record (float32 threshold, uint16 feature id, int32 children
+//     with leaf values folded into a unified array), trees laid out
+//     root-first in breadth-first blocks, with a blocked batch kernel that
+//     evaluates several vectors per tree pass — the lleaves-style node
+//     packing the paper's ~4 µs single-query latency depends on.
+//  4. GenGo emits Go source: each internal node becomes one comparison and
 //     one branch, each leaf a return — exactly the instruction shape lleaves
 //     produces (§2.6, "Model Compilation"). The emitted package is compiled
 //     ahead of time by the Go compiler into native machine code; like in
 //     the paper, compilation happens once after training and adds nothing
-//     to inference latency.
+//     to inference latency. Emitted thresholds follow the packed tier's
+//     float32 round-up contract, so generated code and Pack are
+//     bit-equivalent on every input.
 package treec
 
 import (
@@ -109,16 +117,14 @@ func (f *Flat) PredictBatch(vs [][]float64) []float64 {
 	return out
 }
 
-// PredictBatchParallel evaluates many vectors across a worker pool (0 means
-// the shared GOMAXPROCS-sized pool). Used to reproduce the multi-threaded
-// interpretation line of Figure 5.
+// PredictBatchParallel evaluates many vectors across a cached worker pool
+// (0 means the shared GOMAXPROCS-sized pool); explicit worker counts reuse
+// process-wide pools via par.Sized, so no goroutines are constructed or torn
+// down per call. Used to reproduce the multi-threaded interpretation line of
+// Figure 5.
 func (f *Flat) PredictBatchParallel(vs [][]float64, workers int) []float64 {
 	out := make([]float64, len(vs))
-	pool := par.Shared()
-	if workers > 0 {
-		pool = par.New(workers)
-		defer pool.Close()
-	}
+	pool := par.Sized(workers)
 	chunk := len(vs)/(4*pool.Workers()) + 1
 	pool.For(len(vs), chunk, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -136,7 +142,11 @@ func (f *Flat) PredictBatchParallel(vs [][]float64, workers int) []float64 {
 //	func NumTrees() int
 //
 // Every internal node compiles to one comparison and one branch; every leaf
-// to a return — the lleaves instruction shape. The file carries a
+// to a return — the lleaves instruction shape. Thresholds are emitted under
+// the packed tier's contract: the float64 value of the float32 round-up of
+// the trained threshold (RoundThreshold32), so the generated code is
+// bit-equivalent to Pack on every input, and to the float64 tiers on every
+// input outside the documented rounding gaps. The file carries a
 // "Code generated" marker so linters skip it.
 func GenGo(m *gbdt.Model, pkg string, w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -186,7 +196,7 @@ func GenGo(m *gbdt.Model, pkg string, w io.Writer) error {
 func genNode(w io.Writer, t *gbdt.Tree, ni int32, depth int) {
 	ind := indent(depth)
 	n := &t.Nodes[ni]
-	fmt.Fprintf(w, "%sif v[%d] <= %s {\n", ind, n.Feature, gofloat(n.Threshold))
+	fmt.Fprintf(w, "%sif v[%d] <= %s {\n", ind, n.Feature, gofloat(float64(RoundThreshold32(n.Threshold))))
 	genChild(w, t, n.Left, depth+1)
 	fmt.Fprintf(w, "%s}\n", ind)
 	genChild(w, t, n.Right, depth)

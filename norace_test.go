@@ -1,0 +1,5 @@
+//go:build !race
+
+package t3
+
+const raceEnabled = false

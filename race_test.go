@@ -1,0 +1,8 @@
+//go:build race
+
+package t3
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// guards are skipped under it (its instrumentation allocates, e.g. inside
+// sync.Pool).
+const raceEnabled = true

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"t3/internal/benchdata"
@@ -66,12 +67,17 @@ func DefaultParams() Params { return gbdt.DefaultParams() }
 // Model is a trained T3 performance predictor. All prediction methods are
 // safe for concurrent use.
 type Model struct {
-	reg  *feature.Registry
-	gbm  *gbdt.Model
-	flat *treec.Flat
+	reg    *feature.Registry
+	gbm    *gbdt.Model
+	flat   *treec.Flat
+	packed *treec.Packed
 	// workers sizes the pool PredictBatch fans out over (0 = the shared
 	// GOMAXPROCS-sized pool).
 	workers int
+	// scratches recycles PredictScratch values across internal prediction
+	// calls (PredictPlan, batch workers) so the steady-state hot path is
+	// allocation-free.
+	scratches sync.Pool
 }
 
 // SetWorkers configures how many workers PredictBatch uses (0 = GOMAXPROCS
@@ -87,6 +93,13 @@ func (m *Model) Boosted() *gbdt.Model { return m.gbm }
 
 // Compiled returns the flattened (compiled) evaluator.
 func (m *Model) Compiled() *treec.Flat { return m.flat }
+
+// Packed returns the cache-packed evaluator — the tier behind PredictPlan
+// and the batch paths.
+func (m *Model) Packed() *treec.Packed { return m.packed }
+
+// Tier names the evaluation tier serving Model predictions.
+func (m *Model) Tier() string { return "packed (16-byte nodes, float32 thresholds)" }
 
 // TrainOptions configures Train.
 type TrainOptions struct {
@@ -128,7 +141,7 @@ func NewModel(gbm *gbdt.Model) (*Model, error) {
 	if gbm.NumFeatures != reg.NumFeatures() {
 		return nil, fmt.Errorf("t3: model has %d features, registry has %d", gbm.NumFeatures, reg.NumFeatures())
 	}
-	return &Model{reg: reg, gbm: gbm, flat: treec.Flatten(gbm)}, nil
+	return &Model{reg: reg, gbm: gbm, flat: treec.Flatten(gbm), packed: treec.Pack(gbm)}, nil
 }
 
 // PipelinePrediction is the predicted execution of one pipeline.
@@ -145,18 +158,48 @@ type PipelinePrediction struct {
 	Total time.Duration
 }
 
-// PredictPlan predicts the execution time of a whole query: it decomposes
-// the plan into pipelines, predicts each, and sums (Figure 2).
-func (m *Model) PredictPlan(root *Plan, mode CardMode) (time.Duration, []PipelinePrediction) {
-	vecs, pipelines := m.reg.PlanVectors(root, mode)
-	preds := make([]PipelinePrediction, len(pipelines))
+// PredictScratch is caller-owned reusable state for the allocation-free
+// prediction path: pipeline decomposition storage, one flat feature buffer,
+// and the per-pipeline prediction slice. The zero value is ready to use. A
+// scratch must not be shared between concurrent predictions; keep one per
+// goroutine (Model's internal paths recycle them through a sync.Pool).
+type PredictScratch struct {
+	feat  feature.Scratch
+	preds []PipelinePrediction
+}
+
+// PredictPlanScratch is PredictPlan over a caller-owned scratch: after the
+// scratch warms up (one call), featurize → predict → per-pipeline sum run
+// with zero heap allocations. The returned predictions alias the scratch and
+// are valid only until its next use.
+func (m *Model) PredictPlanScratch(root *Plan, mode CardMode, s *PredictScratch) (time.Duration, []PipelinePrediction) {
+	vecs, pipelines := m.reg.FeaturizeInto(&s.feat, root, mode)
+	s.preds = s.preds[:0]
 	var total time.Duration
 	for i, v := range vecs {
-		preds[i] = m.predictVec(v, pipelines[i], mode)
-		preds[i].Index = pipelines[i].Index
-		total += preds[i].Total
+		pred := m.predictVec(v, pipelines[i], mode)
+		pred.Index = pipelines[i].Index
+		total += pred.Total
+		s.preds = append(s.preds, pred)
 	}
-	return total, preds
+	return total, s.preds
+}
+
+// PredictPlan predicts the execution time of a whole query: it decomposes
+// the plan into pipelines, predicts each, and sums (Figure 2). Latency-bound
+// callers should hold a PredictScratch and use PredictPlanScratch instead —
+// same results, zero steady-state allocations.
+func (m *Model) PredictPlan(root *Plan, mode CardMode) (time.Duration, []PipelinePrediction) {
+	var s PredictScratch
+	return m.PredictPlanScratch(root, mode, &s)
+}
+
+// getScratch hands out a recycled scratch for internal prediction paths.
+func (m *Model) getScratch() *PredictScratch {
+	if s, ok := m.scratches.Get().(*PredictScratch); ok {
+		return s
+	}
+	return &PredictScratch{}
 }
 
 // PredictBatch predicts the execution time of many plans at once,
@@ -166,18 +209,35 @@ func (m *Model) PredictPlan(root *Plan, mode CardMode) (time.Duration, []Pipelin
 // replaces the one-plan-at-a-time PredictPlan loop.
 func (m *Model) PredictBatch(roots []*Plan, mode CardMode) []time.Duration {
 	out := make([]time.Duration, len(roots))
-	pool := par.Shared()
-	if m.workers > 0 {
-		pool = par.New(m.workers)
-		defer pool.Close()
+	m.PredictBatchInto(roots, mode, out)
+	return out
+}
+
+// PredictBatchInto is PredictBatch into a caller-owned output slice
+// (len(out) must equal len(roots)). Worker pools are cached process-wide and
+// per-chunk scratches are recycled, so nothing is constructed per call; with
+// one worker the batch loop itself is allocation-free.
+func (m *Model) PredictBatchInto(roots []*Plan, mode CardMode, out []time.Duration) {
+	if len(out) != len(roots) {
+		panic(fmt.Sprintf("t3: PredictBatchInto out has len %d, want %d", len(out), len(roots)))
+	}
+	pool := par.Sized(m.workers)
+	if pool.Workers() == 1 || len(roots) == 1 {
+		s := m.getScratch()
+		for i, root := range roots {
+			out[i], _ = m.PredictPlanScratch(root, mode, s)
+		}
+		m.scratches.Put(s)
+		return
 	}
 	chunk := len(roots)/(4*pool.Workers()) + 1
 	pool.For(len(roots), chunk, func(lo, hi int) {
+		s := m.getScratch()
 		for i := lo; i < hi; i++ {
-			out[i], _ = m.PredictPlan(roots[i], mode)
+			out[i], _ = m.PredictPlanScratch(roots[i], mode, s)
 		}
+		m.scratches.Put(s)
 	})
-	return out
 }
 
 // PredictPipeline predicts the execution time of a single pipeline.
@@ -189,7 +249,7 @@ func (m *Model) PredictPipeline(p *Pipeline, mode CardMode) PipelinePrediction {
 }
 
 func (m *Model) predictVec(v []float64, p *Pipeline, mode CardMode) PipelinePrediction {
-	t := m.flat.Predict(v)
+	t := m.packed.Predict(v)
 	perTuple := benchdata.InverseTarget(t)
 	card := feature.SourceCard(p, mode)
 	return PipelinePrediction{

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-baseline bench-predict train compile experiments clean
+.PHONY: all build test vet bench bench-baseline bench-predict train compile experiments serve clean
 
 all: build vet test
 
@@ -37,6 +37,10 @@ compile:
 # Reproduce every table and figure of the paper (quick config).
 experiments:
 	go run ./cmd/t3bench
+
+# Serve predictions over HTTP with /metrics, expvar, and pprof attached.
+serve:
+	go run ./cmd/t3serve -model models/t3_default.json
 
 clean:
 	go clean ./...

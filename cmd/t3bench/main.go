@@ -13,17 +13,25 @@
 //
 // The default (quick) configuration finishes in a few minutes; -full uses
 // the paper-scale 200-tree models and the complete query sets.
+//
+// -stats dumps the observability registry (prediction/training/execution
+// metrics accumulated while the experiments ran) to stderr; -json swaps the
+// formatted tables for a JSON document containing the experiment list and
+// the metrics snapshot (the schema cmd/t3serve serves at /metrics.json),
+// so CI can diff runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"time"
 
 	"t3/internal/experiments"
+	"t3/internal/obs"
 )
 
 // runner pairs an experiment name with its execution.
@@ -54,13 +62,23 @@ var runners = []runner{
 	{"scheduling", func(e *experiments.Env) (interface{ Format() string }, error) { return e.RunScheduling() }},
 }
 
+// jsonOutput is the -json schema: the experiments run plus the metrics
+// snapshot (the same schema t3serve serves at /metrics.json).
+type jsonOutput struct {
+	Schema      string            `json:"schema"`
+	Experiments map[string]string `json:"experiments"` // name -> wall time
+	Metrics     obs.Snapshot      `json:"metrics"`
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("t3bench: ")
 	full := flag.Bool("full", false, "run the paper-scale configuration (slower)")
 	workers := flag.Int("workers", 0, "parallel workers for training and batched prediction (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list available experiments")
+	stats := flag.Bool("stats", false, "dump the observability registry to stderr on exit")
+	jsonOut := flag.Bool("json", false, "emit experiment list + metrics snapshot as JSON instead of tables")
+	logFormat := flag.String("log", "text", "log format: text|json")
 	flag.Parse()
+	obs.SetupLogging(os.Stderr, *logFormat, false)
 
 	if *list {
 		names := make([]string, len(runners))
@@ -79,7 +97,7 @@ func main() {
 		cfg = experiments.FullConfig()
 	}
 	cfg.Workers = *workers
-	cfg.Corpus.Progress = func(s string) { log.Print(s) }
+	cfg.Corpus.Progress = func(s string) { slog.Info(s) }
 	env := experiments.NewEnv(cfg)
 
 	want := flag.Args()
@@ -100,22 +118,42 @@ func main() {
 	for _, r := range runners {
 		byName[r.name] = r
 	}
+	ran := make(map[string]string)
 	failed := false
 	for _, name := range want {
 		r, ok := byName[name]
 		if !ok {
-			log.Printf("unknown experiment %q (use -list)", name)
+			slog.Error("unknown experiment (use -list)", "name", name)
 			failed = true
 			continue
 		}
 		start := time.Now()
 		res, err := r.run(env)
 		if err != nil {
-			log.Printf("%s failed: %v", name, err)
+			slog.Error("experiment failed", "name", name, "err", err)
 			failed = true
 			continue
 		}
-		fmt.Printf("\n=== %s (%v) ===\n%s", name, time.Since(start).Round(time.Millisecond), res.Format())
+		elapsed := time.Since(start).Round(time.Millisecond)
+		ran[name] = elapsed.String()
+		if !*jsonOut {
+			fmt.Printf("\n=== %s (%v) ===\n%s", name, elapsed, res.Format())
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOutput{
+			Schema:      "t3/metrics-snapshot/v1",
+			Experiments: ran,
+			Metrics:     obs.Default.Snapshot(),
+		}); err != nil {
+			slog.Error("encoding output", "err", err)
+			failed = true
+		}
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, obs.Default.DumpText())
 	}
 	if failed {
 		os.Exit(1)

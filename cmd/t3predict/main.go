@@ -8,52 +8,83 @@
 //
 //	t3predict -model models/t3_default.json [-cards true|est] plan.json [plan2.json ...]
 //	cat plan.json | t3predict -model models/t3_default.json -
+//
+// -json emits the predictions plus the metrics snapshot (the same schema
+// cmd/t3serve exposes at /metrics.json) for CI diffing; -stats dumps the
+// observability registry in human-readable form.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
-	"sort"
 	"time"
 
 	"t3"
+	"t3/internal/obs"
 	"t3/internal/planio"
 )
 
-// measureLatency times reps scratch-path predictions of every plan and
-// returns the p50/p95/p99 of the per-prediction latency distribution.
-func measureLatency(model *t3.Model, roots []*t3.Plan, mode t3.CardMode, reps int) (p50, p95, p99 time.Duration) {
+// minLatencySamples is the smallest sample count for which the reported
+// p99 is meaningful: below it the tail quantiles collapse onto the max.
+const minLatencySamples = 100
+
+// measureLatency times reps scratch-path predictions of every plan into a
+// shared-quantile-code histogram and returns its snapshot. It warns when
+// the sample count is too small for a trustworthy tail.
+func measureLatency(model *t3.Model, roots []*t3.Plan, mode t3.CardMode, reps int) obs.HistSnapshot {
+	h := obs.NewHistogram("t3predict_latency_seconds", "", obs.UnitNanoseconds)
 	var s t3.PredictScratch
 	for _, r := range roots { // warm the scratch so timing sees steady state
 		model.PredictPlanScratch(r, mode, &s)
 	}
-	ds := make([]time.Duration, 0, reps*len(roots))
 	for i := 0; i < reps; i++ {
 		for _, r := range roots {
 			start := time.Now()
 			model.PredictPlanScratch(r, mode, &s)
-			ds = append(ds, time.Since(start))
+			h.Since(start)
 		}
 	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	return ds[len(ds)/2], ds[len(ds)*95/100], ds[len(ds)*99/100]
+	snap := h.Snapshot()
+	if snap.Count < minLatencySamples {
+		slog.Warn("latency sample count too small for a meaningful p99",
+			"samples", snap.Count, "want", minLatencySamples)
+	}
+	return snap
+}
+
+// jsonOutput is the -json schema: per-plan predictions plus the metrics
+// snapshot (the same schema t3serve serves at /metrics.json).
+type jsonOutput struct {
+	Schema  string       `json:"schema"`
+	Plans   []jsonPlan   `json:"plans"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+type jsonPlan struct {
+	Plan        string `json:"plan"`
+	PredictedNs int64  `json:"predicted_ns"`
+	Predicted   string `json:"predicted"`
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("t3predict: ")
 	var (
 		modelPath = flag.String("model", "models/t3_default.json", "trained model (JSON)")
 		cards     = flag.String("cards", "true", "cardinality annotations to use: true|est")
 		workers   = flag.Int("workers", 0, "parallel workers for batched prediction (0 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "print the feature vectors")
+		stats     = flag.Bool("stats", false, "dump the observability registry to stderr on exit")
+		jsonOut   = flag.Bool("json", false, "emit predictions + metrics snapshot as JSON")
+		logFormat = flag.String("log", "text", "log format: text|json")
 	)
 	flag.Parse()
+	obs.SetupLogging(os.Stderr, *logFormat, false)
 	if flag.NArg() < 1 {
-		log.Fatal("usage: t3predict [-model m.json] [-cards true|est] <plan.json|-> [plan2.json ...]")
+		slog.Error("usage: t3predict [-model m.json] [-cards true|est] <plan.json|-> [plan2.json ...]")
+		os.Exit(2)
 	}
 
 	roots := make([]*t3.Plan, flag.NArg())
@@ -66,20 +97,42 @@ func main() {
 			data, err = os.ReadFile(arg)
 		}
 		if err != nil {
-			log.Fatal(err)
+			slog.Error("reading plan", "arg", arg, "err", err)
+			os.Exit(1)
 		}
 		if roots[i], err = planio.Unmarshal(data); err != nil {
-			log.Fatalf("%s: %v", arg, err)
+			slog.Error("decoding plan", "arg", arg, "err", err)
+			os.Exit(1)
 		}
 	}
 	model, err := t3.Load(*modelPath)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("loading model", "path", *modelPath, "err", err)
+		os.Exit(1)
 	}
 	model.SetWorkers(*workers)
 	mode := t3.TrueCards
 	if *cards == "est" {
 		mode = t3.EstCards
+	}
+	if *stats {
+		defer func() { fmt.Fprint(os.Stderr, obs.Default.DumpText()) }()
+	}
+
+	if *jsonOut {
+		totals := model.PredictBatch(roots, mode)
+		measureLatency(model, roots, mode, 100)
+		out := jsonOutput{Schema: "t3/metrics-snapshot/v1", Metrics: obs.Default.Snapshot()}
+		for i, d := range totals {
+			out.Plans = append(out.Plans, jsonPlan{Plan: flag.Arg(i), PredictedNs: d.Nanoseconds(), Predicted: d.String()})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			slog.Error("encoding output", "err", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if len(roots) > 1 {
@@ -89,17 +142,19 @@ func main() {
 		for i, d := range totals {
 			fmt.Printf("%-30s %14v\n", flag.Arg(i), d)
 		}
-		p50, p95, p99 := measureLatency(model, roots, mode, 100)
+		lat := measureLatency(model, roots, mode, 100)
 		fmt.Printf("evaluation tier: %s\n", model.Tier())
-		fmt.Printf("per-query prediction latency: p50 %v, p95 %v, p99 %v\n", p50, p95, p99)
+		fmt.Printf("per-query prediction latency: p50 %v, p95 %v, p99 %v (n=%d)\n",
+			lat.QuantileDuration(0.50), lat.QuantileDuration(0.95), lat.QuantileDuration(0.99), lat.Count)
 		return
 	}
 
 	root := roots[0]
 	total, per := model.PredictPlan(root, mode)
 	fmt.Printf("predicted execution time: %v\n", total)
-	p50, p95, p99 := measureLatency(model, roots, mode, 300)
-	fmt.Printf("evaluation tier: %s; prediction latency: p50 %v, p95 %v, p99 %v\n", model.Tier(), p50, p95, p99)
+	lat := measureLatency(model, roots, mode, 300)
+	fmt.Printf("evaluation tier: %s; prediction latency: p50 %v, p95 %v, p99 %v (n=%d)\n",
+		model.Tier(), lat.QuantileDuration(0.50), lat.QuantileDuration(0.95), lat.QuantileDuration(0.99), lat.Count)
 	fmt.Printf("%-10s %14s %14s %14s\n", "pipeline", "per-tuple", "cardinality", "total")
 	for _, p := range per {
 		fmt.Printf("P%-9d %12.3gs %14.0f %14v\n", p.Index, p.PerTupleSeconds, p.Cardinality, p.Total)

@@ -1,0 +1,256 @@
+// Command t3serve serves a trained T3 model over HTTP: prediction and
+// execution endpoints plus the full observability surface of internal/obs.
+//
+// Usage:
+//
+//	t3serve [-addr :8080] [-model models/t3_default.json] [-workers 0] [-log text|json]
+//
+// Endpoints:
+//
+//	POST /predict            plan JSON in (see internal/planio), prediction out.
+//	                         ?cards=true|est selects cardinality annotations.
+//	POST /run                predict the plan and score the q-error into the
+//	                         drift histogram. ?actual_ns=N supplies the
+//	                         caller's measured execution time (the normal
+//	                         case: plans sent over the wire carry only
+//	                         annotations, never data). Without it the plan is
+//	                         executed on the in-memory engine, which requires
+//	                         bound tables and fails for decoded plans.
+//	GET  /metrics            Prometheus text exposition of every metric.
+//	GET  /metrics.json       the same registry as a JSON snapshot (the
+//	                         schema t3predict/t3bench -json also emit).
+//	GET  /healthz            liveness probe.
+//	GET  /debug/vars         expvar, including the metrics snapshot.
+//	GET  /debug/pprof/       net/http/pprof profiles.
+//
+// Example:
+//
+//	t3serve -model models/t3_default.json &
+//	curl -s -X POST --data-binary @plan.json localhost:8080/predict
+//	curl -s localhost:8080/metrics | grep t3_predict_latency
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=5
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"strconv"
+	"time"
+
+	"t3"
+	"t3/internal/obs"
+	"t3/internal/planio"
+)
+
+// HTTP serving metrics, alongside the built-in T3 metrics on obs.Default.
+var (
+	httpRequests = obs.Default.NewCounter("t3_http_requests_total",
+		"HTTP requests served.")
+	httpErrors = obs.Default.NewCounter("t3_http_errors_total",
+		"HTTP requests answered with a non-2xx status.")
+	httpLatency = obs.Default.NewHistogram("t3_http_request_seconds",
+		"HTTP request handling latency.", obs.UnitNanoseconds)
+)
+
+// maxBody bounds request bodies (plans are small; 8 MiB is generous).
+const maxBody = 8 << 20
+
+// server carries the loaded model through the handlers.
+type server struct {
+	model *t3.Model
+	log   *slog.Logger
+}
+
+// predictResponse is the JSON answer of /predict and the prediction half
+// of /run.
+type predictResponse struct {
+	PredictedNs int64              `json:"predicted_ns"`
+	Predicted   string             `json:"predicted"`
+	Tier        string             `json:"tier"`
+	Pipelines   []pipelinePredJSON `json:"pipelines"`
+}
+
+type pipelinePredJSON struct {
+	Index           int     `json:"index"`
+	PerTupleSeconds float64 `json:"per_tuple_seconds"`
+	Cardinality     float64 `json:"cardinality"`
+	TotalNs         int64   `json:"total_ns"`
+}
+
+// runResponse is the JSON answer of /run.
+type runResponse struct {
+	predictResponse
+	ActualNs int64   `json:"actual_ns"`
+	Actual   string  `json:"actual"`
+	QError   float64 `json:"qerror"`
+}
+
+// readPlan decodes the request body as a plan and picks the card mode.
+func readPlan(r *http.Request) (*t3.Plan, t3.CardMode, error) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		return nil, t3.TrueCards, fmt.Errorf("reading body: %w", err)
+	}
+	root, err := planio.Unmarshal(data)
+	if err != nil {
+		return nil, t3.TrueCards, fmt.Errorf("decoding plan: %w", err)
+	}
+	mode := t3.TrueCards
+	if r.URL.Query().Get("cards") == "est" {
+		mode = t3.EstCards
+	}
+	return root, mode, nil
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a plan JSON")
+		return
+	}
+	root, mode, err := readPlan(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	total, per := s.model.PredictPlan(root, mode)
+	writeJSON(w, predictResp(s.model, total, per))
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a plan JSON")
+		return
+	}
+	root, mode, err := readPlan(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var predicted, actual time.Duration
+	var q float64
+	if v := r.URL.Query().Get("actual_ns"); v != "" {
+		// The caller executed the query elsewhere and reports the measured
+		// time; we score our prediction against it.
+		ns, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || ns < 0 {
+			httpError(w, http.StatusBadRequest, "actual_ns must be a non-negative integer")
+			return
+		}
+		actual = time.Duration(ns)
+		predicted, _ = s.model.PredictPlan(root, mode)
+		q = t3.RecordObserved(predicted, actual)
+	} else if predicted, actual, q, err = s.model.PredictAndRun(root, mode); err != nil {
+		httpError(w, http.StatusUnprocessableEntity,
+			err.Error()+" (plans decoded from JSON carry no data; pass ?actual_ns=N with the measured time instead)")
+		return
+	}
+	_, per := s.model.PredictPlan(root, mode)
+	writeJSON(w, runResponse{
+		predictResponse: predictResp(s.model, predicted, per),
+		ActualNs:        actual.Nanoseconds(),
+		Actual:          actual.String(),
+		QError:          q,
+	})
+}
+
+func predictResp(m *t3.Model, total time.Duration, per []t3.PipelinePrediction) predictResponse {
+	resp := predictResponse{
+		PredictedNs: total.Nanoseconds(),
+		Predicted:   total.String(),
+		Tier:        m.Tier(),
+		Pipelines:   make([]pipelinePredJSON, len(per)),
+	}
+	for i, p := range per {
+		resp.Pipelines[i] = pipelinePredJSON{
+			Index:           p.Index,
+			PerTupleSeconds: p.PerTupleSeconds,
+			Cardinality:     p.Cardinality,
+			TotalNs:         p.Total.Nanoseconds(),
+		}
+	}
+	return resp
+}
+
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
+}
+
+func handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, obs.Default.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	httpErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// instrument wraps a handler with request counting, latency recording, and
+// structured access logging.
+func instrument(log *slog.Logger, name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		httpRequests.Inc()
+		h(w, r)
+		d := time.Since(start)
+		httpLatency.Observe(d)
+		log.Debug("request", "endpoint", name, "method", r.Method, "remote", r.RemoteAddr, "dur", d)
+	}
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath = flag.String("model", "models/t3_default.json", "trained model (JSON)")
+		workers   = flag.Int("workers", 0, "parallel workers for batched prediction (0 = GOMAXPROCS)")
+		logFormat = flag.String("log", "text", "log format: text|json")
+		verbose   = flag.Bool("v", false, "debug logging (per-request access logs)")
+	)
+	flag.Parse()
+	logger := obs.SetupLogging(os.Stderr, *logFormat, *verbose)
+
+	model, err := t3.Load(*modelPath)
+	if err != nil {
+		logger.Error("loading model", "path", *modelPath, "err", err)
+		os.Exit(1)
+	}
+	model.SetWorkers(*workers)
+	s := &server{model: model, log: logger}
+
+	// The metrics snapshot doubles as an expvar, so stock expvar tooling
+	// (and /debug/vars) sees the same numbers as /metrics.
+	expvar.Publish("t3_metrics", expvar.Func(func() any { return obs.Default.Snapshot() }))
+
+	// Register on the default mux, which net/http/pprof and expvar already
+	// populated with /debug/pprof/* and /debug/vars.
+	http.HandleFunc("/predict", instrument(logger, "predict", s.handlePredict))
+	http.HandleFunc("/run", instrument(logger, "run", s.handleRun))
+	http.HandleFunc("/metrics", instrument(logger, "metrics", handleMetrics))
+	http.HandleFunc("/metrics.json", instrument(logger, "metrics.json", handleMetricsJSON))
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok\n")
+	})
+
+	logger.Info("t3serve listening", "addr", *addr, "model", *modelPath, "tier", model.Tier())
+	srv := &http.Server{Addr: *addr, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Error("server stopped", "err", err)
+		os.Exit(1)
+	}
+}

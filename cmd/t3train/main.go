@@ -5,25 +5,29 @@
 // Usage:
 //
 //	t3train [-scale 0.4] [-pergroup 8] [-runs 3] [-rounds 200] [-seed 1] \
-//	        [-workers 0] [-o models/t3_default.json]
+//	        [-workers 0] [-stats] [-log text|json] [-o models/t3_default.json]
+//
+// The held-out evaluation doubles as online drift accounting: every
+// prediction is scored against the measured execution time through
+// t3.RecordObserved, so -stats shows the q-error drift histogram alongside
+// the training metrics (rounds, per-round timing, rows/sec).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
 
 	"t3"
 	"t3/internal/benchdata"
+	"t3/internal/obs"
 	"t3/internal/qerror"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("t3train: ")
 	var (
 		scale      = flag.Float64("scale", 0.4, "instance size multiplier (1 = full-size lite instances)")
 		perGroup   = flag.Int("pergroup", 8, "generated queries per structure group per instance (paper: 40)")
@@ -35,17 +39,28 @@ func main() {
 		cardMode   = flag.String("cards", "true", "cardinality mode to train on: true|est")
 		saveCorpus = flag.String("save-corpus", "", "save the benchmarked corpus to this path (.json or .json.gz)")
 		loadCorpus = flag.String("load-corpus", "", "retrain from a saved corpus instead of benchmarking")
+		stats      = flag.Bool("stats", false, "dump the observability registry to stderr on exit")
+		logFormat  = flag.String("log", "text", "log format: text|json")
 	)
 	flag.Parse()
+	obs.SetupLogging(os.Stderr, *logFormat, false)
+
+	fail := func(msg string, err error) {
+		slog.Error(msg, "err", err)
+		if *stats {
+			fmt.Fprint(os.Stderr, obs.Default.DumpText())
+		}
+		os.Exit(1)
+	}
 
 	start := time.Now()
 	var corpus *benchdata.Corpus
 	var err error
 	if *loadCorpus != "" {
-		log.Printf("loading corpus from %s...", *loadCorpus)
+		slog.Info("loading corpus", "path", *loadCorpus)
 		corpus, err = benchdata.LoadCorpus(*loadCorpus)
 		if err != nil {
-			log.Fatal(err)
+			fail("loading corpus", err)
 		}
 	} else {
 		cfg := benchdata.Config{
@@ -54,21 +69,22 @@ func main() {
 			Runs:          *runs,
 			Seed:          *seed,
 			ReleaseTables: true,
-			Progress:      func(s string) { log.Print(s) },
+			Progress:      func(s string) { slog.Info(s) },
 		}
-		log.Printf("building corpus (scale=%.2f, %d queries/group, %d runs)...", *scale, *perGroup, *runs)
+		slog.Info("building corpus", "scale", *scale, "queries_per_group", *perGroup, "runs", *runs)
 		corpus, err = benchdata.BuildCorpus(cfg)
 		if err != nil {
-			log.Fatal(err)
+			fail("building corpus", err)
 		}
 	}
-	log.Printf("corpus ready in %v: %d train + %d test queries",
-		time.Since(start).Round(time.Second), len(corpus.AllTrain()), len(corpus.AllTest()))
+	slog.Info("corpus ready",
+		"elapsed", time.Since(start).Round(time.Second),
+		"train_queries", len(corpus.AllTrain()), "test_queries", len(corpus.AllTest()))
 	if *saveCorpus != "" {
 		if err := benchdata.SaveCorpus(corpus, *saveCorpus); err != nil {
-			log.Fatal(err)
+			fail("saving corpus", err)
 		}
-		log.Printf("corpus saved to %s", *saveCorpus)
+		slog.Info("corpus saved", "path", *saveCorpus)
 	}
 
 	mode := t3.TrueCards
@@ -81,11 +97,13 @@ func main() {
 	trainStart := time.Now()
 	model, err := t3.Train(corpus.AllTrain(), t3.TrainOptions{Params: params, CardMode: mode})
 	if err != nil {
-		log.Fatal(err)
+		fail("training", err)
 	}
 	model.SetWorkers(*workers)
-	log.Printf("trained %d trees in %v", *rounds, time.Since(trainStart).Round(time.Millisecond))
+	slog.Info("trained", "trees", *rounds, "elapsed", time.Since(trainStart).Round(time.Millisecond))
 
+	// Held-out evaluation: every prediction is scored against the measured
+	// execution time, which also feeds the online drift histogram.
 	test := corpus.AllTest()
 	roots := make([]*t3.Plan, len(test))
 	for i, b := range test {
@@ -94,18 +112,21 @@ func main() {
 	preds := model.PredictBatch(roots, mode)
 	es := make([]float64, len(test))
 	for i, b := range test {
-		es[i] = qerror.QError(preds[i].Seconds(), b.MedianTotal().Seconds())
+		es[i] = t3.RecordObserved(preds[i], b.MedianTotal())
 	}
 	s := qerror.Summarize(es)
-	log.Printf("TPC-DS zero-shot accuracy: p50=%.2f p90=%.2f avg=%.2f (n=%d)", s.P50, s.P90, s.Avg, s.N)
+	slog.Info("TPC-DS zero-shot accuracy", "p50", s.P50, "p90", s.P90, "avg", s.Avg, "n", s.N)
 
 	if dir := filepath.Dir(*out); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			log.Fatal(err)
+			fail("creating output dir", err)
 		}
 	}
 	if err := model.Save(*out); err != nil {
-		log.Fatal(err)
+		fail("saving model", err)
 	}
 	fmt.Printf("model saved to %s\n", *out)
+	if *stats {
+		fmt.Fprint(os.Stderr, obs.Default.DumpText())
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"t3/internal/engine/expr"
 	"t3/internal/engine/plan"
 	"t3/internal/engine/storage"
+	"t3/internal/obs"
 )
 
 // DefaultBatchSize is the number of tuples pushed per batch.
@@ -106,7 +107,11 @@ func (e *Executor) Run(root *plan.Node, annotate bool) (*RunResult, error) {
 		d := time.Since(start)
 		res.Pipelines = append(res.Pipelines, PipelineTiming{Index: p.Index, SourceRows: srcRows, Duration: d})
 		res.Total += d
+		obs.ExecPipelines.Inc()
+		obs.ExecPipelineTime.Observe(d)
+		obs.ExecTuples.Add(uint64(srcRows))
 	}
+	obs.ExecPlans.Inc()
 	res.Output = rt.result
 	if rt.result != nil {
 		res.Rows = rt.result.N

@@ -250,6 +250,14 @@ type Scratch struct {
 // scratch capacities stabilize and featurization stops allocating.
 func (r *Registry) FeaturizeInto(s *Scratch, root *plan.Node, mode plan.CardMode) ([][]float64, []*plan.Pipeline) {
 	ps := plan.DecomposeInto(root, &s.Pipes)
+	return r.EncodeDecomposed(s, ps, mode), ps
+}
+
+// EncodeDecomposed encodes already-decomposed pipelines into the scratch —
+// the second half of FeaturizeInto, split out so instrumented callers can
+// time decomposition and featurization as separate stages. The returned
+// vectors alias the scratch.
+func (r *Registry) EncodeDecomposed(s *Scratch, ps []*plan.Pipeline, mode plan.CardMode) [][]float64 {
 	s.buf = s.buf[:0]
 	for _, p := range ps {
 		s.buf = r.AppendVec(s.buf, p, mode)
@@ -260,7 +268,7 @@ func (r *Registry) FeaturizeInto(s *Scratch, root *plan.Node, mode plan.CardMode
 	for i := range ps {
 		s.vecs = append(s.vecs, s.buf[i*r.numFeat:(i+1)*r.numFeat])
 	}
-	return s.vecs, ps
+	return s.vecs
 }
 
 // PlanVectors decomposes a plan and encodes all pipelines. It returns the

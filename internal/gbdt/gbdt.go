@@ -18,7 +18,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
+	"t3/internal/obs"
 	"t3/internal/par"
 )
 
@@ -382,6 +384,8 @@ func Train(p Params, xs [][]float64, ys []float64, valX [][]float64, valY []floa
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
+	trainStart := time.Now()
+	obs.TrainSessions.Inc()
 	rng := rand.New(rand.NewSource(p.Seed))
 	pool := par.New(p.Workers)
 	defer pool.Close()
@@ -436,12 +440,15 @@ func Train(p Params, xs [][]float64, ys []float64, valX [][]float64, valY []floa
 	grower := newGrower(td, bnr, p, rng, pool)
 
 	for round := 0; round < p.NumRounds; round++ {
+		roundStart := time.Now()
 		// Gradient/hessian computation and score updates write disjoint
 		// per-row slots, so chunked fan-out cannot change the result.
 		pool.For(td.n, rowChunk, func(lo, hi int) {
 			gradients(p.Objective, preds[lo:hi], ys[lo:hi], g[lo:hi], h[lo:hi])
 		})
+		growStart := time.Now()
 		tree := grower.grow(g, h)
+		obs.TrainGrowTime.Since(growStart)
 		m.Trees = append(m.Trees, *tree)
 
 		pool.For(td.n, rowChunk, func(lo, hi int) {
@@ -450,6 +457,7 @@ func Train(p Params, xs [][]float64, ys []float64, valX [][]float64, valY []floa
 			}
 		})
 		res.TrainLoss = append(res.TrainLoss, loss(pool, p.Objective, preds, ys))
+		stop := false
 		if valX != nil {
 			pool.For(len(valX), 256, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
@@ -464,13 +472,21 @@ func Train(p Params, xs [][]float64, ys []float64, valX [][]float64, valY []floa
 			}
 			if p.EarlyStoppingRounds > 0 && round+1-bestIter >= p.EarlyStoppingRounds {
 				m.Trees = m.Trees[:bestIter]
-				break
+				stop = true
 			}
+		}
+		obs.TrainRounds.Inc()
+		obs.TrainRoundTime.Since(roundStart)
+		if stop {
+			break
 		}
 	}
 	if bestIter == 0 {
 		bestIter = len(m.Trees)
 	}
 	m.BestIteration = bestIter
+	if elapsed := time.Since(trainStart).Seconds(); elapsed > 0 {
+		obs.TrainRowsPerSec.Set(float64(td.n) * float64(len(m.Trees)) / elapsed)
+	}
 	return m, res, nil
 }

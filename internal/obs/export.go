@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Histogram buckets are emitted
+// cumulatively; empty buckets are elided (the +Inf bucket is always
+// present), keeping the payload proportional to the observed value range.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	counters, gauges, hists := r.metrics()
+	for _, c := range counters {
+		writeHeader(w, c.name, c.help, "counter")
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		writeHeader(w, g.name, g.help, "gauge")
+		if _, err := fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value())); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		s := h.Snapshot()
+		writeHeader(w, h.name, h.help, "histogram")
+		var cum uint64
+		for i, c := range s.Counts {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			le := bucketUpper(i) * s.Unit
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			h.name, s.Count, h.name, formatFloat(s.Sum), h.name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// bucketUpper returns the exclusive raw upper bound of bucket i.
+func bucketUpper(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return math.Ldexp(1, i)
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is the JSON-exportable view of a registry — the schema shared
+// by cmd/t3serve's /metrics.json endpoint, its expvar publication, and the
+// -json output modes of t3predict and t3bench, so CI can diff runs.
+type Snapshot struct {
+	Counters   map[string]uint64           `json:"counters"`
+	Gauges     map[string]float64          `json:"gauges"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+}
+
+// HistogramSummary is one histogram in a Snapshot: totals, the standard
+// quantiles, and the sparse cumulative buckets (upper bound in export
+// units → cumulative count), mirroring the Prometheus exposition.
+type HistogramSummary struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Mean    float64           `json:"mean"`
+	P50     float64           `json:"p50"`
+	P95     float64           `json:"p95"`
+	P99     float64           `json:"p99"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	counters, gauges, hists := r.metrics()
+	snap := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSummary, len(hists)),
+	}
+	for _, c := range counters {
+		snap.Counters[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		v := g.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		snap.Gauges[g.name] = v
+	}
+	for _, h := range hists {
+		s := h.Snapshot()
+		hs := HistogramSummary{
+			Count: s.Count,
+			Sum:   s.Sum,
+			Mean:  s.Mean(),
+			P50:   s.Quantile(0.50),
+			P95:   s.Quantile(0.95),
+			P99:   s.Quantile(0.99),
+		}
+		if s.Count > 0 {
+			hs.Buckets = make(map[string]uint64)
+			var cum uint64
+			for i, c := range s.Counts {
+				if c == 0 {
+					continue
+				}
+				cum += c
+				hs.Buckets[formatFloat(bucketUpper(i)*s.Unit)] = cum
+			}
+		}
+		snap.Histograms[h.name] = hs
+	}
+	return snap
+}
+
+// DumpText renders every registered metric as an aligned human-readable
+// report — the output behind the CLIs' -stats flag. Duration histograms
+// print as durations; everything else prints as plain numbers. Metrics
+// that never fired are elided.
+func (r *Registry) DumpText() string {
+	counters, gauges, hists := r.metrics()
+	var sb strings.Builder
+	var lines []string
+	for _, c := range counters {
+		if v := c.Value(); v > 0 {
+			lines = append(lines, fmt.Sprintf("  %-40s %d", c.name, v))
+		}
+	}
+	if len(lines) > 0 {
+		sb.WriteString("counters:\n")
+		sortAndWrite(&sb, lines)
+		lines = lines[:0]
+	}
+	for _, g := range gauges {
+		if v := g.Value(); v != 0 {
+			lines = append(lines, fmt.Sprintf("  %-40s %.6g", g.name, v))
+		}
+	}
+	if len(lines) > 0 {
+		sb.WriteString("gauges:\n")
+		sortAndWrite(&sb, lines)
+		lines = lines[:0]
+	}
+	for _, h := range hists {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("  %-40s n=%-8d mean=%-10s p50=%-10s p95=%-10s p99=%s",
+			h.name, s.Count,
+			formatInUnit(s.Mean(), h.unit), formatInUnit(s.Quantile(0.50), h.unit),
+			formatInUnit(s.Quantile(0.95), h.unit), formatInUnit(s.Quantile(0.99), h.unit)))
+	}
+	if len(lines) > 0 {
+		sb.WriteString("histograms:\n")
+		sortAndWrite(&sb, lines)
+	}
+	if sb.Len() == 0 {
+		return "no metrics recorded\n"
+	}
+	return sb.String()
+}
+
+func sortAndWrite(sb *strings.Builder, lines []string) {
+	sort.Strings(lines)
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+}
+
+// formatInUnit renders an export-unit value, using duration formatting for
+// nanosecond-unit histograms.
+func formatInUnit(v, unit float64) string {
+	if unit == UnitNanoseconds {
+		return time.Duration(v * float64(time.Second)).Round(time.Nanosecond).String()
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every histogram: bucket 0 holds
+// exact zeros and bucket i (1 ≤ i ≤ 64) holds raw values v with
+// bits.Len64(v) == i, i.e. v ∈ [2^(i-1), 2^i). Power-of-two buckets span
+// the full uint64 range — 1 ns to ~584 years for duration histograms —
+// with a worst-case quantile resolution of one octave (2×), which is ample
+// for latency percentiles that themselves vary run to run.
+const NumBuckets = 65
+
+// Histogram is a preallocated, lock-free latency/value histogram. Record
+// is three atomic adds; histograms are safe for concurrent use and never
+// allocate after construction.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Uint64 // total of recorded raw units
+	name   string
+	help   string
+	unit   float64 // export value of one raw unit (see Unit* constants)
+}
+
+// NewHistogram creates an unregistered histogram (see
+// Registry.NewHistogram for the registered variant).
+func NewHistogram(name, help string, unit float64) *Histogram {
+	if unit <= 0 {
+		unit = 1
+	}
+	return &Histogram{name: name, help: help, unit: unit}
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Record adds one observation of v raw units.
+func (h *Histogram) Record(v uint64) {
+	h.counts[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Observe records a duration (into a UnitNanoseconds histogram). Negative
+// durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Since records the time elapsed since start — the span/stage timer used
+// on instrumented paths: t := time.Now(); ...; h.Since(t).
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+// ObserveFloat records a value given in export units (e.g. a q-error
+// ratio into a UnitMilli histogram), converting to raw units.
+func (h *Histogram) ObserveFloat(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	raw := v / h.unit
+	if raw >= math.MaxUint64 {
+		raw = math.MaxUint64
+	}
+	h.Record(uint64(raw))
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Buckets are read
+// individually (not under a lock), so a snapshot taken during concurrent
+// recording may be off by in-flight observations — each bucket is still
+// internally consistent, and totals converge as recording quiesces.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Unit: h.unit}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = float64(h.sum.Load()) * h.unit
+	return s
+}
+
+// HistSnapshot is a mergeable point-in-time view of a histogram.
+type HistSnapshot struct {
+	// Unit is the export value of one raw unit.
+	Unit float64
+	// Counts are per-bucket observation counts (see NumBuckets).
+	Counts [NumBuckets]uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the total of all observations in export units.
+	Sum float64
+}
+
+// Merge folds another snapshot into this one. Merging is commutative and
+// associative, so per-shard snapshots can be combined in any order.
+// Snapshots must share the same unit.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if s.Count == 0 && s.Unit == 0 {
+		s.Unit = o.Unit
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Mean returns the mean observation in export units (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) in export units, linearly
+// interpolated within the containing power-of-two bucket. The result is
+// exact to within one octave of the true value. Returns 0 when empty.
+func (s *HistSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(math.Ceil(p * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum < target {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := math.Ldexp(1, i-1)
+		hi := math.Ldexp(1, i)
+		frac := float64(target-(cum-c)) / float64(c)
+		return (lo + frac*(hi-lo)) * s.Unit
+	}
+	return math.Ldexp(1, 64) * s.Unit // unreachable: cum == Count >= target
+}
+
+// QuantileDuration is Quantile for duration histograms: the quantile in
+// export units (seconds) converted to a time.Duration.
+func (s *HistSnapshot) QuantileDuration(p float64) time.Duration {
+	return time.Duration(s.Quantile(p) * float64(time.Second))
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// SetupLogging builds a slog.Logger writing to w (os.Stderr when nil) in
+// the given format ("text" or "json"), installs it as the slog default,
+// and returns it. verbose lowers the level to Debug. Every cmd routes its
+// logging through this so output is uniformly structured and -log json
+// makes runs machine-parseable.
+func SetupLogging(w io.Writer, format string, verbose bool) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	return logger
+}

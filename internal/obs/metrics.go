@@ -1,0 +1,93 @@
+package obs
+
+// Built-in T3 metrics, registered with Default. Handles are package-level
+// pointers so instrumented code (t3.Model, internal/gbdt, internal/engine)
+// records without any lookup. Names follow Prometheus conventions:
+// *_total for counters, *_seconds for duration histograms.
+var (
+	// Prediction serving (t3.Model, packed tier).
+
+	// Predictions counts single-plan predictions served by the packed tier.
+	Predictions = Default.NewCounter("t3_predictions_total",
+		"Single-plan predictions served (packed tier).")
+	// PredictLatency is the end-to-end single-prediction latency:
+	// decompose + featurize + tree evaluation + per-pipeline sum.
+	PredictLatency = Default.NewHistogram("t3_predict_latency_seconds",
+		"End-to-end single-plan prediction latency (packed tier).", UnitNanoseconds)
+	// PredictInterpreted is the same latency on the interpreted tier
+	// (Model.PredictInterpreted), the slow tier of Table 1.
+	PredictInterpreted = Default.NewHistogram("t3_predict_interpreted_seconds",
+		"Single-plan prediction latency on the interpreted tier.", UnitNanoseconds)
+
+	// Per-stage spans of the predict hot path, sampled 1-in-8 (see
+	// StageSampler) so the extra clock reads stay off most predictions.
+
+	// PredictDecompose times plan → pipeline decomposition.
+	PredictDecompose = Default.NewHistogram("t3_predict_stage_decompose_seconds",
+		"Sampled latency of the plan-decomposition stage.", UnitNanoseconds)
+	// PredictFeaturize times pipeline → feature-vector encoding.
+	PredictFeaturize = Default.NewHistogram("t3_predict_stage_featurize_seconds",
+		"Sampled latency of the featurization stage.", UnitNanoseconds)
+	// PredictTreeEval times packed-ensemble evaluation and the
+	// per-pipeline sum.
+	PredictTreeEval = Default.NewHistogram("t3_predict_stage_treeeval_seconds",
+		"Sampled latency of the tree-evaluation stage.", UnitNanoseconds)
+	// StageSampler gates the per-stage spans above.
+	StageSampler = NewSampler(8)
+
+	// Batched prediction.
+
+	// PredictBatches counts PredictBatch/PredictBatchInto calls.
+	PredictBatches = Default.NewCounter("t3_predict_batches_total",
+		"Batched prediction calls.")
+	// PredictBatchSize is the distribution of batch sizes (plans per call).
+	PredictBatchSize = Default.NewHistogram("t3_predict_batch_size",
+		"Plans per batched prediction call.", UnitCount)
+
+	// Online accuracy drift: q-errors between predictions and measured
+	// executions of the same plan (RecordObserved in package t3).
+
+	// QErrorObservations counts prediction/execution pairs scored.
+	QErrorObservations = Default.NewCounter("t3_qerror_observations_total",
+		"Prediction/execution pairs scored for drift.")
+	// QErrorDrift is the q-error distribution of those pairs; a drifting
+	// workload shows up as mass moving into higher buckets.
+	QErrorDrift = Default.NewHistogram("t3_qerror_drift",
+		"Q-error of predictions vs measured execution times.", UnitMilli)
+
+	// GBDT training (internal/gbdt).
+
+	// TrainSessions counts Train calls.
+	TrainSessions = Default.NewCounter("t3_train_sessions_total",
+		"GBDT training runs.")
+	// TrainRounds counts boosting rounds across all training runs.
+	TrainRounds = Default.NewCounter("t3_train_rounds_total",
+		"Boosting rounds trained.")
+	// TrainRoundTime is per-round wall time (gradients + grow + update).
+	TrainRoundTime = Default.NewHistogram("t3_train_round_seconds",
+		"Wall time per boosting round.", UnitNanoseconds)
+	// TrainGrowTime is per-round tree-growing time (histogram builds and
+	// split search), the dominant cost inside a round.
+	TrainGrowTime = Default.NewHistogram("t3_train_grow_seconds",
+		"Wall time per tree grow (histogram build + split search).", UnitNanoseconds)
+	// TrainRowsPerSec is the most recent training throughput:
+	// rows × rounds / wall time.
+	TrainRowsPerSec = Default.NewGauge("t3_train_rows_per_second",
+		"Training throughput of the last Train call (rows x rounds / s).")
+
+	// Pipeline execution (internal/engine/exec), the ground-truth side of
+	// drift accounting.
+
+	// ExecPlans counts plans executed.
+	ExecPlans = Default.NewCounter("t3_exec_plans_total",
+		"Plans executed by the in-memory engine.")
+	// ExecPipelines counts pipelines executed.
+	ExecPipelines = Default.NewCounter("t3_exec_pipelines_total",
+		"Pipelines executed by the in-memory engine.")
+	// ExecPipelineTime is per-pipeline wall time.
+	ExecPipelineTime = Default.NewHistogram("t3_exec_pipeline_seconds",
+		"Wall time per executed pipeline.", UnitNanoseconds)
+	// ExecTuples counts source tuples pushed into pipelines.
+	ExecTuples = Default.NewCounter("t3_exec_tuples_total",
+		"Source tuples pushed through executed pipelines.")
+)

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	g := r.NewGauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("h_seconds", "", UnitNanoseconds)
+	h.Observe(1500 * time.Nanosecond)
+	h.Observe(-time.Second) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if want := 1500e-9; math.Abs(s.Sum-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+	// 1500 ns falls in bucket 11: [1024, 2048).
+	if s.Counts[11] != 1 || s.Counts[0] != 1 {
+		t.Fatalf("bucket layout wrong: %v", s.Counts[:16])
+	}
+}
+
+// TestQuantileAccuracy pins the histogram quantiles against a sorted
+// reference on random data: power-of-two buckets guarantee the estimate
+// lies within the true value's bucket, i.e. within a factor of 2.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		h := NewHistogram("q", "", UnitCount)
+		n := 5000
+		vals := make([]float64, n)
+		for i := range vals {
+			// Log-uniform over ~6 orders of magnitude, like latencies.
+			v := math.Exp(rng.Float64() * 14)
+			vals[i] = v
+			h.Record(uint64(v))
+		}
+		sort.Float64s(vals)
+		s := h.Snapshot()
+		for _, p := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0} {
+			got := s.Quantile(p)
+			idx := int(math.Ceil(p*float64(n))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			want := vals[idx]
+			if got < want/2 || got > want*2 {
+				t.Errorf("trial %d p%g: quantile %.1f outside factor-2 band of reference %.1f",
+					trial, p*100, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	h := NewHistogram("e", "", UnitCount)
+	h.Record(0)
+	s = h.Snapshot()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero quantile = %v, want 0", got)
+	}
+	h.Record(100)
+	s = h.Snapshot()
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want 0 (smallest observation bucket)", got)
+	}
+	if got := s.Quantile(1); got < 64 || got > 128 {
+		t.Fatalf("p100 = %v, want within [64,128] (bucket of 100)", got)
+	}
+}
+
+// TestConcurrentRecording hammers one histogram and counter from many
+// goroutines; with -race this doubles as the data-race check, and the
+// totals must come out exact because recording is atomic.
+func TestConcurrentRecording(t *testing.T) {
+	h := NewHistogram("conc", "", UnitNanoseconds)
+	c := NewCounter("conc_total", "")
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Record(uint64(rng.Intn(1 << 20)))
+				c.Inc()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if s := h.Snapshot(); s.Count != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", s.Count, goroutines*perG)
+	}
+}
+
+// TestSnapshotMergeAssociativity: merging per-shard snapshots must be
+// order-independent, so sharded recorders can combine in any topology.
+func TestSnapshotMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() HistSnapshot {
+		h := NewHistogram("m", "", UnitNanoseconds)
+		for i := 0; i < 1000; i++ {
+			h.Record(uint64(rng.Intn(1 << 30)))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(), mk(), mk()
+
+	left := a // (a+b)+c
+	left.Merge(b)
+	left.Merge(c)
+	right := b // a+(b+c)
+	right.Merge(c)
+	ab := a
+	ab.Merge(right)
+
+	if left.Counts != ab.Counts || left.Count != ab.Count {
+		t.Fatalf("merge is not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", left, ab)
+	}
+	// Sum is a float accumulation, so allow rounding in the last bits.
+	if d := math.Abs(left.Sum - ab.Sum); d > 1e-9*math.Abs(left.Sum) {
+		t.Fatalf("merged sums diverge: %v vs %v", left.Sum, ab.Sum)
+	}
+	if left.Count != 3000 {
+		t.Fatalf("merged count = %d, want 3000", left.Count)
+	}
+	// Quantiles of the merge must agree regardless of merge order.
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		if left.Quantile(p) != ab.Quantile(p) {
+			t.Fatalf("p%g differs across merge orders", p*100)
+		}
+	}
+}
+
+// TestRecordZeroAlloc guards the hot-path contract: counter increments,
+// histogram records, span timers, and sampler checks perform zero heap
+// allocations.
+func TestRecordZeroAlloc(t *testing.T) {
+	h := NewHistogram("za", "", UnitNanoseconds)
+	c := NewCounter("za_total", "")
+	g := NewGauge("za_g", "")
+	smp := NewSampler(8)
+	if allocs := testing.AllocsPerRun(200, func() {
+		start := time.Now()
+		c.Inc()
+		g.Set(1.5)
+		if smp.Sample() {
+			h.Since(start)
+		}
+		h.Observe(time.Since(start))
+		h.ObserveFloat(1.25)
+	}); allocs != 0 {
+		t.Fatalf("record path allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	s := NewSampler(8)
+	hits := 0
+	for i := 0; i < 800; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("sampler admitted %d of 800, want exactly 100 (1 in 8)", hits)
+	}
+	every := NewSampler(1)
+	if !every.Sample() || !every.Sample() {
+		t.Fatal("NewSampler(1) must admit every call")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_requests_total", "Requests.")
+	g := r.NewGauge("t_rows_per_second", "Throughput.")
+	h := r.NewHistogram("t_latency_seconds", "Latency.", UnitNanoseconds)
+	c.Add(3)
+	g.Set(123.5)
+	h.Observe(1500 * time.Nanosecond) // bucket [1024, 2048) ns
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE t_requests_total counter",
+		"t_requests_total 3",
+		"# TYPE t_rows_per_second gauge",
+		"t_rows_per_second 123.5",
+		"# TYPE t_latency_seconds histogram",
+		`t_latency_seconds_bucket{le="2.048e-06"} 1`,
+		`t_latency_seconds_bucket{le="+Inf"} 1`,
+		"t_latency_seconds_count 1",
+		"t_latency_seconds_sum 1.5e-06",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("j_total", "").Add(7)
+	h := r.NewHistogram("j_seconds", "", UnitNanoseconds)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["j_total"] != 7 {
+		t.Fatalf("counter lost in round trip: %+v", back.Counters)
+	}
+	hs := back.Histograms["j_seconds"]
+	if hs.Count != 100 || hs.P50 <= 0 || hs.P99 < hs.P50 {
+		t.Fatalf("histogram summary implausible: %+v", hs)
+	}
+}
+
+func TestDumpText(t *testing.T) {
+	r := NewRegistry()
+	if got := r.DumpText(); got != "no metrics recorded\n" {
+		t.Fatalf("empty dump = %q", got)
+	}
+	r.NewCounter("d_total", "").Inc()
+	h := r.NewHistogram("d_seconds", "", UnitNanoseconds)
+	h.Observe(4 * time.Microsecond)
+	out := r.DumpText()
+	for _, want := range []string{"counters:", "d_total", "histograms:", "d_seconds", "n=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

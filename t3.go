@@ -30,10 +30,13 @@ import (
 	"time"
 
 	"t3/internal/benchdata"
+	"t3/internal/engine/exec"
 	"t3/internal/engine/plan"
 	"t3/internal/feature"
 	"t3/internal/gbdt"
+	"t3/internal/obs"
 	"t3/internal/par"
+	"t3/internal/qerror"
 	"t3/internal/treec"
 )
 
@@ -172,8 +175,26 @@ type PredictScratch struct {
 // scratch warms up (one call), featurize → predict → per-pipeline sum run
 // with zero heap allocations. The returned predictions alias the scratch and
 // are valid only until its next use.
+//
+// The path is instrumented: every call counts into obs.Predictions and
+// records its end-to-end latency; one in every few calls (obs.StageSampler)
+// additionally records decompose/featurize/tree-eval spans. All recording
+// is atomic adds on preallocated histograms, so the zero-alloc guarantee
+// holds with observability on.
 func (m *Model) PredictPlanScratch(root *Plan, mode CardMode, s *PredictScratch) (time.Duration, []PipelinePrediction) {
-	vecs, pipelines := m.reg.FeaturizeInto(&s.feat, root, mode)
+	start := time.Now()
+	sampled := obs.StageSampler.Sample()
+	t0 := start
+	pipelines := plan.DecomposeInto(root, &s.feat.Pipes)
+	if sampled {
+		obs.PredictDecompose.Since(t0)
+		t0 = time.Now()
+	}
+	vecs := m.reg.EncodeDecomposed(&s.feat, pipelines, mode)
+	if sampled {
+		obs.PredictFeaturize.Since(t0)
+		t0 = time.Now()
+	}
 	s.preds = s.preds[:0]
 	var total time.Duration
 	for i, v := range vecs {
@@ -182,6 +203,11 @@ func (m *Model) PredictPlanScratch(root *Plan, mode CardMode, s *PredictScratch)
 		total += pred.Total
 		s.preds = append(s.preds, pred)
 	}
+	if sampled {
+		obs.PredictTreeEval.Since(t0)
+	}
+	obs.Predictions.Inc()
+	obs.PredictLatency.Since(start)
 	return total, s.preds
 }
 
@@ -221,6 +247,8 @@ func (m *Model) PredictBatchInto(roots []*Plan, mode CardMode, out []time.Durati
 	if len(out) != len(roots) {
 		panic(fmt.Sprintf("t3: PredictBatchInto out has len %d, want %d", len(out), len(roots)))
 	}
+	obs.PredictBatches.Inc()
+	obs.PredictBatchSize.Record(uint64(len(roots)))
 	pool := par.Sized(m.workers)
 	if pool.Workers() == 1 || len(roots) == 1 {
 		s := m.getScratch()
@@ -263,13 +291,42 @@ func (m *Model) predictVec(v []float64, p *Pipeline, mode CardMode) PipelinePred
 // walking) evaluator instead of the compiled one — the "T3 interpreted" row
 // of Table 1.
 func (m *Model) PredictInterpreted(root *Plan, mode CardMode) time.Duration {
+	start := time.Now()
 	vecs, pipelines := m.reg.PlanVectors(root, mode)
 	var total float64
 	for i, v := range vecs {
 		perTuple := benchdata.InverseTarget(m.gbm.Predict(v))
 		total += perTuple * feature.SourceCard(pipelines[i], mode)
 	}
+	obs.PredictInterpreted.Since(start)
 	return time.Duration(total * float64(time.Second))
+}
+
+// RecordObserved scores one prediction against the measured execution time
+// of the same plan and records the q-error into the online drift histogram
+// (obs.QErrorDrift). Serving systems call this whenever ground truth
+// becomes available — the engine ran a plan that was previously predicted —
+// so estimation-error drift is visible on /metrics before it rots accuracy.
+func RecordObserved(predicted, actual time.Duration) float64 {
+	q := qerror.QError(predicted.Seconds(), actual.Seconds())
+	obs.QErrorObservations.Inc()
+	obs.QErrorDrift.ObserveFloat(q)
+	return q
+}
+
+// PredictAndRun predicts the plan, then actually executes it on the
+// in-memory engine and feeds the resulting q-error into the drift
+// histogram via RecordObserved. It returns the prediction, the measured
+// execution time, and the q-error between them.
+func (m *Model) PredictAndRun(root *Plan, mode CardMode) (predicted, actual time.Duration, q float64, err error) {
+	predicted, _ = m.PredictPlan(root, mode)
+	res, err := exec.Run(root, false)
+	if err != nil {
+		return predicted, 0, 0, fmt.Errorf("t3: executing plan: %w", err)
+	}
+	actual = res.Total
+	q = RecordObserved(predicted, actual)
+	return predicted, actual, q, nil
 }
 
 // Save writes the model to a JSON file.

@@ -9,7 +9,10 @@ import (
 	"time"
 
 	"t3/internal/benchdata"
+	"t3/internal/engine/exec"
+	"t3/internal/obs"
 	"t3/internal/qerror"
+	"t3/internal/workload"
 )
 
 // testCorpus builds a small shared corpus once per test binary: a handful of
@@ -362,4 +365,66 @@ func TestPackedTierServesPredictions(t *testing.T) {
 		}
 	}
 	t.Logf("%d pipeline vectors hit rounding gaps", gaps)
+}
+
+// TestObservabilityIntegration pins that the prediction, batch, and drift
+// paths feed the obs registry: counters advance, the latency histogram
+// fills, and PredictAndRun scores q-errors against real engine executions.
+func TestObservabilityIntegration(t *testing.T) {
+	c := smallCorpus(t)
+	m := trainSmall(t, c)
+	test := c.AllTest()
+
+	before := obs.Predictions.Value()
+	latBefore := obs.PredictLatency.Snapshot().Count
+	for _, b := range test[:10] {
+		m.PredictPlan(b.Query.Root, TrueCards)
+	}
+	if got := obs.Predictions.Value() - before; got < 10 {
+		t.Fatalf("predictions counter advanced by %d, want >= 10", got)
+	}
+	if got := obs.PredictLatency.Snapshot().Count - latBefore; got < 10 {
+		t.Fatalf("latency histogram recorded %d, want >= 10", got)
+	}
+
+	batchBefore := obs.PredictBatches.Value()
+	roots := make([]*Plan, 5)
+	for i, b := range test[:5] {
+		roots[i] = b.Query.Root
+	}
+	m.PredictBatch(roots, TrueCards)
+	if obs.PredictBatches.Value() != batchBefore+1 {
+		t.Fatal("batch counter did not advance")
+	}
+
+	// PredictAndRun needs a plan whose tables are still bound (the shared
+	// corpus releases them), so build a tiny live instance.
+	in := workload.MustGenerate(workload.TPCHSpec("obs_tpch", 0.01, 7))
+	root := workload.TPCHBenchmarkQueries(in)[0].Root
+	if err := exec.AnnotateTrueCards(root); err != nil {
+		t.Fatal(err)
+	}
+	driftBefore := obs.QErrorDrift.Snapshot().Count
+	pred, actual, q, err := m.PredictAndRun(root, TrueCards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 0 || actual <= 0 || q < 1 {
+		t.Fatalf("implausible PredictAndRun result: pred=%v actual=%v q=%v", pred, actual, q)
+	}
+	if wantQ := qerror.QError(pred.Seconds(), actual.Seconds()); q != wantQ {
+		t.Fatalf("q-error %v, want %v", q, wantQ)
+	}
+	if got := obs.QErrorDrift.Snapshot().Count - driftBefore; got < 1 {
+		t.Fatal("drift histogram did not record the observation")
+	}
+
+	// The sampled stage spans must stay consistent: decompose + featurize +
+	// tree-eval all record the same number of admitted predictions.
+	d := obs.PredictDecompose.Snapshot().Count
+	f := obs.PredictFeaturize.Snapshot().Count
+	e := obs.PredictTreeEval.Snapshot().Count
+	if d != f || f != e {
+		t.Fatalf("stage span counts diverge: decompose=%d featurize=%d treeeval=%d", d, f, e)
+	}
 }

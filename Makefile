@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-baseline bench-predict train compile experiments serve clean
+.PHONY: all build test vet bench bench-baseline bench-predict bench-engine train compile experiments serve clean
 
 all: build vet test
 
@@ -26,6 +26,13 @@ bench-baseline:
 # counts, as machine-readable JSON (mirrors the CI bench-smoke job).
 bench-predict:
 	go test -run xxx -bench=Predict -benchtime=100x -benchmem -json . > BENCH_predict.json
+
+# Engine-kernel baseline: hash-join and group-by kernels (open-addressing vs
+# the map baseline on identical inputs) plus label-collection throughput by
+# worker count, as machine-readable JSON.
+bench-engine:
+	go test -run xxx -bench '^(BenchmarkHashJoin|BenchmarkGroupBy)$$' -benchmem -json ./internal/engine/exec/ > BENCH_engine.json
+	go test -run xxx -bench '^BenchmarkLabelCollect$$' -benchmem -json ./internal/workload/ >> BENCH_engine.json
 
 # Rebuild the checked-in model and its compiled form.
 train:

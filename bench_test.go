@@ -401,6 +401,9 @@ func trainCorpus(n int) ([][]float64, []float64) {
 
 // BenchmarkTrain measures GBDT training wall-clock by worker count on the
 // same corpus; models are bit-for-bit identical across the sub-benchmarks.
+// The hist-subtraction pair isolates the histogram-subtraction trick at one
+// worker: "off" rescans both children of every split, "on" (the default
+// everywhere else) scans only the smaller child and derives the sibling.
 func BenchmarkTrain(b *testing.B) {
 	xs, ys := trainCorpus(16000)
 	for _, workers := range []int{1, 2, 4, 8} {
@@ -409,6 +412,25 @@ func BenchmarkTrain(b *testing.B) {
 			p.NumRounds = 20
 			p.Seed = 5
 			p.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := gbdt.Train(p, xs, ys, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, noSub := range []bool{false, true} {
+		name := "hist-subtraction=on"
+		if noSub {
+			name = "hist-subtraction=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := gbdt.DefaultParams()
+			p.NumRounds = 20
+			p.Seed = 5
+			p.Workers = 1
+			p.NoHistSubtraction = noSub
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := gbdt.Train(p, xs, ys, nil, nil); err != nil {

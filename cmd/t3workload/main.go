@@ -3,17 +3,25 @@
 // what the 16 structure groups produce and for exporting workloads to other
 // systems.
 //
+// With -collect it instead executes the workload through the parallel
+// label-collection runner, fanning queries out across -workers workers, and
+// prints throughput plus the label set's stable fingerprint (which is
+// identical for every worker count).
+//
 // Usage:
 //
 //	t3workload [-instance tpch|tpcds|imdb] [-scale 0.05] [-pergroup 2] [-seed 7] [-group SeJA]
+//	t3workload -collect [-workers 4] [-runs 3] [-instance tpch] [-scale 0.05]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"t3/internal/engine/plan"
+	"t3/internal/obs"
 	"t3/internal/sql"
 	"t3/internal/workload"
 )
@@ -28,6 +36,9 @@ func main() {
 		seed     = flag.Int64("seed", 7, "generator seed")
 		group    = flag.String("group", "", "only this structure group (e.g. SeJA)")
 		fixed    = flag.Bool("fixed", false, "also print the fixed benchmark queries")
+		collect  = flag.Bool("collect", false, "execute the workload and collect (plan, pipeline-time) labels")
+		workers  = flag.Int("workers", 0, "collection workers (0 = GOMAXPROCS)")
+		runs     = flag.Int("runs", 1, "timing runs per query during collection")
 	)
 	flag.Parse()
 
@@ -43,6 +54,28 @@ func main() {
 		log.Fatalf("unknown instance %q", *instance)
 	}
 	in := workload.MustGenerate(spec)
+
+	if *collect {
+		ls, err := workload.CollectLabels(in, workload.CollectConfig{
+			Workers:  *workers,
+			Runs:     *runs,
+			PerGroup: *perGroup,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pipelines int
+		for _, l := range ls.Labels {
+			pipelines += len(l.Pipelines)
+		}
+		fmt.Printf("collected %d queries (%d pipelines, %d timing runs each) on %s\n",
+			len(ls.Labels), pipelines, *runs, ls.Instance)
+		fmt.Printf("workers=%d elapsed=%s throughput=%.1f queries/s\n",
+			ls.Workers, ls.Elapsed.Round(time.Millisecond), obs.CollectThroughput.Value())
+		fmt.Printf("stable fingerprint: %016x\n", ls.Fingerprint())
+		return
+	}
 
 	qs := workload.GenerateQueries(in, workload.GenConfig{PerGroup: *perGroup, Seed: *seed})
 	if *fixed {

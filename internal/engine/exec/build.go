@@ -74,11 +74,13 @@ func rowsEqual(cols []storage.Column, idxs []int, a int, keyCols []storage.Colum
 	return true
 }
 
-// joinState is the materialized build side of a hash join.
+// joinState is the materialized build side of a hash join. Build rows are
+// entries of the open-addressing table in insertion order, so the table's
+// entry ids double as row indices into keyCols/payload.
 type joinState struct {
 	keyCols []storage.Column // key columns, one row per build tuple
 	payload []storage.Column // payload columns, one row per build tuple
-	ht      map[uint64][]int32
+	ht      *hashTab
 	rows    int
 }
 
@@ -114,7 +116,9 @@ func (rt *runtime) makeBuild(n *plan.Node) (pushFn, func(), error) {
 
 func (rt *runtime) makeJoinBuild(n *plan.Node) (pushFn, func(), error) {
 	in := n.Left
-	st := &joinState{ht: make(map[uint64][]int32)}
+	// Presize from the build input's cardinality annotation so steady-state
+	// builds (label collection re-executing annotated plans) never rehash.
+	st := &joinState{ht: rt.scratch.table(expectedCard(in.OutCard))}
 	st.keyCols = make([]storage.Column, len(n.BuildKeys))
 	for k, ci := range n.BuildKeys {
 		st.keyCols[k] = storage.Column{Kind: in.Schema[ci].Kind}
@@ -127,7 +131,7 @@ func (rt *runtime) makeJoinBuild(n *plan.Node) (pushFn, func(), error) {
 	push := func(b *expr.Batch) {
 		for i := 0; i < b.N; i++ {
 			h := hashRow(b.Cols, n.BuildKeys, i)
-			st.ht[h] = append(st.ht[h], int32(st.rows))
+			st.ht.insert(h) // entry id == st.rows (sequential inserts)
 			for k, ci := range n.BuildKeys {
 				appendVal(&st.keyCols[k], &b.Cols[ci], i)
 			}
@@ -148,36 +152,34 @@ func (rt *runtime) makeProbe(n *plan.Node, sink pushFn) (pushFn, error) {
 	}
 	nc := rt.count(n)
 	nProbe := len(n.Right.Schema)
-	makeOut := func() *expr.Batch {
-		out := &expr.Batch{Cols: make([]storage.Column, len(n.Schema))}
-		for i, cm := range n.Schema {
-			out.Cols[i] = storage.Column{Name: cm.Name, Kind: cm.Kind}
-		}
-		return out
-	}
+	// One reusable output buffer for the whole probe stage: sinks consume
+	// batches synchronously and never retain them, so the buffer can be
+	// truncated and refilled after every flush.
+	out := rt.scratch.batchMeta(n.Schema)
+	on := 0
 	return func(b *expr.Batch) {
-		out := makeOut()
 		flush := func() {
-			if out.N > 0 {
-				nc.out += int64(out.N)
-				sink(out)
-				out = makeOut()
+			if on > 0 {
+				nc.out += int64(on)
+				sink(out.attach(on))
+				out.truncate()
+				on = 0
 			}
 		}
 		for i := 0; i < b.N && !rt.stop; i++ {
 			h := hashRow(b.Cols, n.ProbeKeys, i)
-			for _, bi := range st.ht[h] {
-				if !rowsEqualProbe(b.Cols, n.ProbeKeys, i, st.keyCols, int(bi)) {
+			for e := st.ht.lookup(h); e >= 0; e = st.ht.next[e] {
+				if !rowsEqualProbe(b.Cols, n.ProbeKeys, i, st.keyCols, int(e)) {
 					continue
 				}
 				for c := 0; c < nProbe; c++ {
-					appendVal(&out.Cols[c], &b.Cols[c], i)
+					appendVal(&out.cols[c], &b.Cols[c], i)
 				}
 				for c := range st.payload {
-					appendVal(&out.Cols[nProbe+c], &st.payload[c], int(bi))
+					appendVal(&out.cols[nProbe+c], &st.payload[c], int(e))
 				}
-				out.N++
-				if out.N >= rt.batchSize {
+				on++
+				if on >= rt.batchSize {
 					flush()
 				}
 			}
@@ -191,55 +193,74 @@ func rowsEqualProbe(cols []storage.Column, idxs []int, a int, keyCols []storage.
 	return rowsEqual(cols, idxs, a, keyCols, b)
 }
 
-// groupState is the hash-aggregation state of a group-by build.
+// groupState is the hash-aggregation state of a group-by build. Groups are
+// entries of the open-addressing table in discovery order, so the table's
+// entry ids double as group ids.
 type groupState struct {
 	keyCols []storage.Column // one row per group
-	ht      map[uint64][]int32
+	ht      *hashTab
 	groups  int
 	// accumulators, one slice entry per group per aggregate
 	sums   [][]float64
 	counts [][]int64
-	strMin []map[int32]string // for min/max over strings, keyed by group
-	strMax []map[int32]string
+	// strMin/strMax are allocated lazily: only aggregates that MIN/MAX over
+	// a string column get a per-group value slice; all others stay nil.
+	strMin [][]string
+	strMax [][]string
+}
+
+// addGroup appends zeroed accumulator slots for a newly discovered group.
+func (st *groupState) addGroup(aggs []plan.Agg) {
+	st.groups++
+	for a, agg := range aggs {
+		st.sums[a] = append(st.sums[a], initialAcc(agg.Fn))
+		st.counts[a] = append(st.counts[a], 0)
+		if st.strMin[a] != nil {
+			st.strMin[a] = append(st.strMin[a], "")
+			st.strMax[a] = append(st.strMax[a], "")
+		}
+	}
 }
 
 func (rt *runtime) makeGroupByBuild(n *plan.Node) (pushFn, func(), error) {
 	in := n.Left
-	st := &groupState{ht: make(map[uint64][]int32)}
+	// Presize from the group-by's own output-cardinality annotation: the
+	// number of entries is the number of distinct groups.
+	st := &groupState{ht: rt.scratch.table(expectedCard(n.OutCard))}
 	st.keyCols = make([]storage.Column, len(n.GroupCols))
 	for k, ci := range n.GroupCols {
 		st.keyCols[k] = storage.Column{Name: in.Schema[ci].Name, Kind: in.Schema[ci].Kind}
 	}
 	st.sums = make([][]float64, len(n.Aggs))
 	st.counts = make([][]int64, len(n.Aggs))
-	st.strMin = make([]map[int32]string, len(n.Aggs))
-	st.strMax = make([]map[int32]string, len(n.Aggs))
-	for a := range n.Aggs {
-		st.strMin[a] = make(map[int32]string)
-		st.strMax[a] = make(map[int32]string)
+	st.strMin = make([][]string, len(n.Aggs))
+	st.strMax = make([][]string, len(n.Aggs))
+	for a, agg := range n.Aggs {
+		if (agg.Fn == plan.AggMin || agg.Fn == plan.AggMax) && in.Schema[agg.Col].Kind == storage.String {
+			st.strMin[a] = []string{}
+			st.strMax[a] = []string{}
+		}
 	}
+	// Register the build state; finalize replaces it with the materialized
+	// output, and a premature scan fails the *Materialized assertion.
+	rt.states[n] = st
 
 	push := func(b *expr.Batch) {
 		for i := 0; i < b.N; i++ {
 			h := hashRow(b.Cols, n.GroupCols, i)
 			gi := int32(-1)
-			for _, cand := range st.ht[h] {
+			for cand := st.ht.lookup(h); cand >= 0; cand = st.ht.next[cand] {
 				if rowsEqual(b.Cols, n.GroupCols, i, st.keyCols, int(cand)) {
 					gi = cand
 					break
 				}
 			}
 			if gi < 0 {
-				gi = int32(st.groups)
-				st.ht[h] = append(st.ht[h], gi)
+				gi = st.ht.insert(h) // entry id == st.groups (sequential)
 				for k, ci := range n.GroupCols {
 					appendVal(&st.keyCols[k], &b.Cols[ci], i)
 				}
-				st.groups++
-				for a, agg := range n.Aggs {
-					st.sums[a] = append(st.sums[a], initialAcc(agg.Fn))
-					st.counts[a] = append(st.counts[a], 0)
-				}
+				st.addGroup(n.Aggs)
 			}
 			for a, agg := range n.Aggs {
 				updateAcc(st, a, agg, b, gi, i)
@@ -250,11 +271,7 @@ func (rt *runtime) makeGroupByBuild(n *plan.Node) (pushFn, func(), error) {
 	finalize := func() {
 		// A global aggregate over empty input still yields one row.
 		if len(n.GroupCols) == 0 && st.groups == 0 {
-			st.groups = 1
-			for a, agg := range n.Aggs {
-				st.sums[a] = append(st.sums[a], initialAcc(agg.Fn))
-				st.counts[a] = append(st.counts[a], 0)
-			}
+			st.addGroup(n.Aggs)
 		}
 		out := newMaterialized(n.Schema)
 		ng := len(n.GroupCols)
@@ -294,13 +311,14 @@ func updateAcc(st *groupState, a int, agg plan.Agg, b *expr.Batch, gi int32, i i
 	c := &b.Cols[agg.Col]
 	if c.Kind == storage.String {
 		s := c.Strs[i]
+		first := st.counts[a][gi] == 0
 		switch agg.Fn {
 		case plan.AggMin:
-			if cur, ok := st.strMin[a][gi]; !ok || s < cur {
+			if first || s < st.strMin[a][gi] {
 				st.strMin[a][gi] = s
 			}
 		case plan.AggMax:
-			if cur, ok := st.strMax[a][gi]; !ok || s > cur {
+			if first || s > st.strMax[a][gi] {
 				st.strMax[a][gi] = s
 			}
 		}

@@ -92,10 +92,14 @@ func (e *Executor) Run(root *plan.Node, annotate bool) (*RunResult, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
+	scratch := scratchPool.Get().(*execScratch)
+	scratch.begin()
+	defer scratchPool.Put(scratch)
 	rt := &runtime{
 		batchSize: batchSize,
 		states:    make(map[*plan.Node]any),
 		counts:    make(map[*plan.Node]*nodeCount),
+		scratch:   scratch,
 	}
 	res := &RunResult{}
 	for _, p := range pipelines {
@@ -149,6 +153,9 @@ type runtime struct {
 	counts    map[*plan.Node]*nodeCount
 	result    *Materialized
 	stop      bool // set by LIMIT once satisfied
+	// scratch supplies pooled batch buffers, hash tables, and selection
+	// vectors; it is checked out for the duration of one Run.
+	scratch *execScratch
 }
 
 func (rt *runtime) count(n *plan.Node) *nodeCount {
@@ -261,34 +268,36 @@ func (rt *runtime) scanTable(n *plan.Node, sink pushFn) (int, error) {
 	}
 	total := t.NumRows()
 	nc := rt.count(n)
-	sel := make([]bool, rt.batchSize)
+	sel := rt.scratch.selBuf(rt.batchSize)
+	// One pooled batch buffer for the whole scan: tuples are copied out of
+	// the base table into it chunk by chunk, because downstream stages
+	// (filter compaction, limit truncation) mutate batch columns in place
+	// and must never write through to the base table.
+	bb := rt.scratch.batchMeta(n.Schema)
 	for off := 0; off < total && !rt.stop; off += rt.batchSize {
 		hi := off + rt.batchSize
 		if hi > total {
 			hi = total
 		}
 		m := hi - off
-		// Copy into a fresh batch: downstream stages (filter compaction,
-		// limit truncation) mutate batch columns in place and must never
-		// write through to the base table.
-		b := &expr.Batch{Cols: make([]storage.Column, len(n.ScanCols)), N: m}
 		for i, ci := range n.ScanCols {
 			src := &t.Columns[ci]
-			dst := &b.Cols[i]
-			dst.Name = src.Name
-			dst.Kind = src.Kind
+			dst := &bb.cols[i]
 			switch src.Kind {
 			case storage.Int64:
-				dst.Ints = append([]int64(nil), src.Ints[off:hi]...)
+				dst.Ints = append(dst.Ints[:0], src.Ints[off:hi]...)
 			case storage.Float64:
-				dst.Flts = append([]float64(nil), src.Flts[off:hi]...)
+				dst.Flts = append(dst.Flts[:0], src.Flts[off:hi]...)
 			case storage.String:
-				dst.Strs = append([]string(nil), src.Strs[off:hi]...)
+				dst.Strs = append(dst.Strs[:0], src.Strs[off:hi]...)
 			}
 			if src.Nulls != nil {
-				dst.Nulls = append([]bool(nil), src.Nulls[off:hi]...)
+				dst.Nulls = append(dst.Nulls[:0], src.Nulls[off:hi]...)
+			} else {
+				dst.Nulls = nil
 			}
 		}
+		b := bb.attach(m)
 		if len(n.Predicates) > 0 {
 			for i := 0; i < m; i++ {
 				sel[i] = true
@@ -317,29 +326,27 @@ func (rt *runtime) scanTable(n *plan.Node, sink pushFn) (int, error) {
 // scanMaterialized pushes a breaker's materialized state in batches. The
 // breaker's out count was already recorded when its state materialized.
 func (rt *runtime) scanMaterialized(n *plan.Node, m *Materialized, sink pushFn) {
+	bb := rt.scratch.batch(m.Cols)
 	for off := 0; off < m.N && !rt.stop; off += rt.batchSize {
 		hi := off + rt.batchSize
 		if hi > m.N {
 			hi = m.N
 		}
-		b := &expr.Batch{Cols: make([]storage.Column, len(m.Cols)), N: hi - off}
 		for i := range m.Cols {
 			src := &m.Cols[i]
-			dst := &b.Cols[i]
-			dst.Name = src.Name
-			dst.Kind = src.Kind
+			dst := &bb.cols[i]
 			// Copy for the same reason as scanTable: downstream stages
 			// mutate batches in place.
 			switch src.Kind {
 			case storage.Int64:
-				dst.Ints = append([]int64(nil), src.Ints[off:hi]...)
+				dst.Ints = append(dst.Ints[:0], src.Ints[off:hi]...)
 			case storage.Float64:
-				dst.Flts = append([]float64(nil), src.Flts[off:hi]...)
+				dst.Flts = append(dst.Flts[:0], src.Flts[off:hi]...)
 			case storage.String:
-				dst.Strs = append([]string(nil), src.Strs[off:hi]...)
+				dst.Strs = append(dst.Strs[:0], src.Strs[off:hi]...)
 			}
 		}
-		sink(b)
+		sink(bb.attach(hi - off))
 	}
 }
 

@@ -186,7 +186,7 @@ func TestScanOfBreakerBeforeBuildFails(t *testing.T) {
 	tab := mkTable("t", 10, 26)
 	scan := plan.NewTableScan(tab, []int{0})
 	srt := plan.NewSort(scan, []int{0}, []bool{false})
-	rt := &runtime{batchSize: 16, states: map[*plan.Node]any{}, counts: map[*plan.Node]*nodeCount{}}
+	rt := &runtime{batchSize: 16, states: map[*plan.Node]any{}, counts: map[*plan.Node]*nodeCount{}, scratch: &execScratch{}}
 	if _, err := rt.driveSource(srt, func(*expr.Batch) {}); err == nil {
 		t.Fatal("scanning a breaker before its build must fail")
 	}

@@ -1,0 +1,271 @@
+package exec
+
+import (
+	"sync"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// hashTab is the purpose-built open-addressing hash table behind hash joins
+// and hash aggregation, replacing the previous map[uint64][]int32 states.
+// It mirrors the layout tricks of purpose-built engine tables (the
+// non-linearities T3 must learn from measured executions):
+//
+//   - power-of-two capacity with linear probing, so a probe is a masked
+//     index plus a short forward scan — no modulo, no bucket pointers;
+//   - each 16-byte slot stores the full 64-bit hash and an inline
+//     first-entry reference, so the common no-duplicate case touches a
+//     single cache line per lookup;
+//   - duplicate entries (same hash) chain through a side "next" arena
+//     indexed by entry id, appended in insertion order so probe output
+//     order matches the previous map-based implementation;
+//   - tables are presized from the plan's cardinality annotations
+//     (true cardinalities after an analyze run, estimates otherwise), so
+//     steady-state builds never rehash.
+//
+// Like the map it replaces, the table is keyed purely by hash: callers
+// verify key equality on the chained entries, so hash collisions cost time,
+// never correctness.
+type hashTab struct {
+	slots []htSlot
+	next  []int32 // chain arena: next[entry] = next entry with equal hash
+	mask  uint64
+	used  int // occupied slots (distinct hashes)
+}
+
+// htSlot is one 16-byte table slot. head < 0 marks an empty slot.
+type htSlot struct {
+	hash       uint64
+	head, tail int32
+}
+
+const htMinCap = 16
+
+// nextPow2 returns the smallest power of two >= n (and >= htMinCap).
+func nextPow2(n int) int {
+	c := htMinCap
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// reset prepares the table for a build expecting `expected` entries,
+// reusing the previous allocation when large enough.
+func (t *hashTab) reset(expected int) {
+	// Size for a load factor <= 1/2 at the expected entry count; inserts
+	// still grow on demand if the annotation undershoots.
+	capacity := nextPow2(2 * expected)
+	if cap(t.slots) >= capacity {
+		t.slots = t.slots[:capacity]
+	} else {
+		t.slots = make([]htSlot, capacity)
+	}
+	for i := range t.slots {
+		t.slots[i].head = -1
+	}
+	t.mask = uint64(capacity) - 1
+	t.next = t.next[:0]
+	t.used = 0
+}
+
+// insert adds the next sequential entry id (len of the chain arena) under
+// hash h and returns it. Entries with equal hash chain in insertion order.
+func (t *hashTab) insert(h uint64) int32 {
+	e := int32(len(t.next))
+	t.next = append(t.next, -1)
+	if 4*t.used >= 3*len(t.slots) {
+		t.grow()
+	}
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.head < 0 {
+			s.hash, s.head, s.tail = h, e, e
+			t.used++
+			return e
+		}
+		if s.hash == h {
+			t.next[s.tail] = e
+			s.tail = e
+			return e
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// lookup returns the first entry id inserted under hash h, or -1. Further
+// equal-hash entries follow via next[].
+func (t *hashTab) lookup(h uint64) int32 {
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.head < 0 {
+			return -1
+		}
+		if s.hash == h {
+			return s.head
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the slot array and repositions slots; chains are untouched
+// because they live in the entry-indexed arena.
+func (t *hashTab) grow() {
+	old := t.slots
+	t.slots = make([]htSlot, 2*len(old))
+	for i := range t.slots {
+		t.slots[i].head = -1
+	}
+	t.mask = uint64(len(t.slots)) - 1
+	for _, s := range old {
+		if s.head < 0 {
+			continue
+		}
+		i := s.hash & t.mask
+		for t.slots[i].head >= 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// expectedCard reads a cardinality annotation for presizing: the measured
+// (true) value when an analyze run filled it, the estimate otherwise, capped
+// so a wild overestimate cannot balloon the initial allocation.
+func expectedCard(c plan.Card) int {
+	v := c.True
+	if v <= 0 {
+		v = c.Est
+	}
+	const maxPresize = 1 << 22
+	switch {
+	case v <= 0:
+		return 0
+	case v > maxPresize:
+		return maxPresize
+	default:
+		return int(v)
+	}
+}
+
+// execScratch holds the reusable buffers of one plan execution: batch
+// buffers, hash tables, and the scan selection vector. Run checks one out of
+// a process-wide pool and returns it when done, so steady-state execution
+// (the label-collection loop in particular) reuses the same arenas run
+// after run instead of reallocating them per pipeline.
+type execScratch struct {
+	sel     []bool
+	batches []*batchBuf
+	nb      int // batches handed out this run
+	tabs    []*hashTab
+	nt      int // tables handed out this run
+}
+
+var scratchPool = sync.Pool{New: func() any { return &execScratch{} }}
+
+// begin resets the check-out cursors for a new run. Buffers handed out
+// during a run stay checked out until the run ends (pipeline states outlive
+// their pipeline), so reuse happens across runs, not within one.
+func (s *execScratch) begin() { s.nb, s.nt = 0, 0 }
+
+// selBuf returns the selection vector, grown to n.
+func (s *execScratch) selBuf(n int) []bool {
+	if cap(s.sel) < n {
+		s.sel = make([]bool, n)
+	}
+	return s.sel[:n]
+}
+
+// batch hands out a reusable batch buffer shaped like the given columns
+// (data is not copied, only names and kinds).
+func (s *execScratch) batch(like []storage.Column) *batchBuf {
+	var bb *batchBuf
+	if s.nb < len(s.batches) {
+		bb = s.batches[s.nb]
+	} else {
+		bb = &batchBuf{}
+		s.batches = append(s.batches, bb)
+	}
+	s.nb++
+	bb.shape(len(like), func(i int) (string, storage.Type) { return like[i].Name, like[i].Kind })
+	return bb
+}
+
+// batchMeta is batch for a plan schema.
+func (s *execScratch) batchMeta(schema []plan.ColMeta) *batchBuf {
+	var bb *batchBuf
+	if s.nb < len(s.batches) {
+		bb = s.batches[s.nb]
+	} else {
+		bb = &batchBuf{}
+		s.batches = append(s.batches, bb)
+	}
+	s.nb++
+	bb.shape(len(schema), func(i int) (string, storage.Type) { return schema[i].Name, schema[i].Kind })
+	return bb
+}
+
+// table hands out a reusable hash table presized for `expected` entries.
+func (s *execScratch) table(expected int) *hashTab {
+	var t *hashTab
+	if s.nt < len(s.tabs) {
+		t = s.tabs[s.nt]
+	} else {
+		t = &hashTab{}
+		s.tabs = append(s.tabs, t)
+	}
+	s.nt++
+	t.reset(expected)
+	return t
+}
+
+// batchBuf is a reusable batch buffer. The retained columns in cols own the
+// backing arrays; callers truncate and append into cols, then call attach to
+// publish the filled columns into the batch handed downstream. Downstream
+// stages may shrink or replace b.Cols freely — the next refill starts from
+// the retained cols again.
+type batchBuf struct {
+	b    expr.Batch
+	cols []storage.Column
+}
+
+// shape configures the buffer's column count, names, and kinds, retaining
+// backing arrays from previous uses.
+func (bb *batchBuf) shape(n int, meta func(i int) (string, storage.Type)) {
+	if cap(bb.cols) < n {
+		cols := make([]storage.Column, n)
+		copy(cols, bb.cols)
+		bb.cols = cols
+	}
+	bb.cols = bb.cols[:n]
+	for i := range bb.cols {
+		c := &bb.cols[i]
+		c.Name, c.Kind = meta(i)
+	}
+	bb.truncate()
+}
+
+// truncate resets every retained column to zero rows.
+func (bb *batchBuf) truncate() {
+	for i := range bb.cols {
+		c := &bb.cols[i]
+		c.Ints = c.Ints[:0]
+		c.Flts = c.Flts[:0]
+		c.Strs = c.Strs[:0]
+		c.Nulls = nil
+	}
+	bb.b.N = 0
+}
+
+// attach publishes the retained columns (filled by the caller) as the
+// batch's columns with n rows. Must be called after every refill, because
+// appends into cols may have reallocated backing arrays.
+func (bb *batchBuf) attach(n int) *expr.Batch {
+	bb.b.Cols = append(bb.b.Cols[:0], bb.cols...)
+	bb.b.N = n
+	return &bb.b
+}

@@ -71,6 +71,13 @@ type Params struct {
 	// Seed regardless of the worker count, so Workers is an execution
 	// detail, not a model property — it is excluded from serialization.
 	Workers int `json:"-"`
+	// NoHistSubtraction disables the histogram-subtraction optimization
+	// (deriving the larger child's histograms as parent − smaller child)
+	// and rebuilds every child histogram by scanning rows. Both paths grow
+	// the same trees up to floating-point rounding in the subtraction; this
+	// switch exists for A/B benchmarks and equivalence tests, so like
+	// Workers it is an execution detail excluded from serialization.
+	NoHistSubtraction bool `json:"-"`
 }
 
 // Validate reports whether the parameters can train a model. The zero Params

@@ -12,6 +12,9 @@ type leafCand struct {
 	sumG, sumH float64
 	parent     int32 // index of the parent internal node, -1 for the root
 	isLeft     bool
+	// hist holds the candidate's feature histograms; nil when the candidate
+	// is too small to split (histograms are never built for it).
+	hist *histSet
 
 	bestGain float64
 	bestFeat int
@@ -19,6 +22,18 @@ type leafCand struct {
 	bestLG   float64 // left-side gradient sums of the best split
 	bestLH   float64
 	bestLC   int
+}
+
+// histSet is one leaf candidate's per-feature histograms, stored as flat
+// arrays of totBins entries addressed by the grower's featOff layout. Keeping
+// whole sets alive per candidate (instead of one shared per-feature scratch)
+// is what enables the histogram-subtraction trick: a split's larger child
+// derives its set as parent − smaller child in O(bins) instead of rescanning
+// its rows in O(rows).
+type histSet struct {
+	g []float64
+	h []float64
+	c []int32
 }
 
 // featSplit is the best split one feature offers for a leaf candidate.
@@ -47,11 +62,18 @@ type grower struct {
 	tmp  []int32 // partition scratch
 	feat []int   // features considered for the current tree
 
-	// Per-feature histogram scratch: feature tasks run concurrently, but
-	// each touches only its own buffers.
-	histG [][]float64
-	histH [][]float64
-	histC [][]int32
+	// Histogram layout: feature f's bins live at [featOff[f],
+	// featOff[f]+numBins(f)) in every histSet's flat arrays.
+	featOff []int
+	totBins int
+
+	// sets is the histSet arena, reset (cursor only, buffers kept) at the
+	// start of every grow. Each split retires the parent's set to one child
+	// and draws at most one fresh set for the other, so the arena never
+	// holds more than NumLeaves+1 sets.
+	sets  []*histSet
+	nsets int
+
 	// featBest collects each feature's candidate split, indexed by position
 	// in feat, so the cross-feature reduction can run in fixed order.
 	featBest []featSplit
@@ -65,23 +87,35 @@ func newGrower(td *trainData, bnr *binner, p Params, rng *rand.Rand, pool *par.P
 	g := &grower{td: td, bnr: bnr, p: p, rng: rng, pool: pool}
 	g.idx = make([]int32, td.n)
 	g.tmp = make([]int32, td.n)
-	g.histG = make([][]float64, td.f)
-	g.histH = make([][]float64, td.f)
-	g.histC = make([][]int32, td.f)
-	g.featBest = make([]featSplit, td.f)
+	g.featOff = make([]int, td.f)
 	for f := 0; f < td.f; f++ {
-		nb := bnr.numBins(f)
-		g.histG[f] = make([]float64, nb)
-		g.histH[f] = make([]float64, nb)
-		g.histC[f] = make([]int32, nb)
+		g.featOff[f] = g.totBins
+		g.totBins += bnr.numBins(f)
 	}
+	g.featBest = make([]featSplit, td.f)
 	return g
+}
+
+// newHistSet draws the next set from the arena, allocating flat buffers only
+// the first time each slot is used across the grower's lifetime.
+func (gr *grower) newHistSet() *histSet {
+	if gr.nsets == len(gr.sets) {
+		gr.sets = append(gr.sets, &histSet{
+			g: make([]float64, gr.totBins),
+			h: make([]float64, gr.totBins),
+			c: make([]int32, gr.totBins),
+		})
+	}
+	hs := gr.sets[gr.nsets]
+	gr.nsets++
+	return hs
 }
 
 // grow fits one tree to the gradient pair (grad, hess).
 func (gr *grower) grow(grad, hess []float64) *Tree {
 	p := gr.p
 	td := gr.td
+	gr.nsets = 0 // recycle the histogram arena from the previous tree
 
 	// Row bagging.
 	n := td.n
@@ -119,6 +153,7 @@ func (gr *grower) grow(grad, hess []float64) *Tree {
 
 	tree := &Tree{}
 	gr.nodeBins = gr.nodeBins[:0]
+	minSplit := 2 * p.MinDataInLeaf
 
 	root := &leafCand{lo: 0, hi: n, parent: -1}
 	// Root gradient sums: fixed-size chunks folded in order, so the
@@ -135,7 +170,12 @@ func (gr *grower) grow(grad, hess []float64) *Tree {
 		return [2]float64{a[0] + b[0], a[1] + b[1]}
 	}, [2]float64{})
 	root.sumG, root.sumH = rs[0], rs[1]
-	gr.findBestSplit(root, grad, hess)
+	// The root is always built by a row scan; subtraction needs a parent.
+	if n >= minSplit {
+		root.hist = gr.newHistSet()
+		gr.buildHist(root, grad, hess)
+	}
+	gr.findBestSplit(root)
 
 	cands := []*leafCand{root}
 	for len(cands) < p.NumLeaves {
@@ -165,8 +205,46 @@ func (gr *grower) grow(grad, hess []float64) *Tree {
 
 		left := &leafCand{lo: c.lo, hi: mid, sumG: c.bestLG, sumH: c.bestLH, parent: nodeIdx, isLeft: true}
 		right := &leafCand{lo: mid, hi: c.hi, sumG: c.sumG - c.bestLG, sumH: c.sumH - c.bestLH, parent: nodeIdx}
-		gr.findBestSplit(left, grad, hess)
-		gr.findBestSplit(right, grad, hess)
+
+		small, large := left, right
+		if right.hi-right.lo < left.hi-left.lo {
+			small, large = right, left
+		}
+		if !p.NoHistSubtraction && large.hi-large.lo >= minSplit {
+			// Histogram subtraction: scan only the smaller child's rows,
+			// then derive the larger child's histograms in place as
+			// parent − smaller, reusing the parent's buffers.
+			small.hist = gr.newHistSet()
+			gr.buildHist(small, grad, hess)
+			gr.subtractHist(c.hist, small.hist)
+			large.hist = c.hist
+			if small.hi-small.lo < minSplit {
+				// Too small to ever split; its histogram only fed the
+				// subtraction.
+				small.hist = nil
+			}
+		} else {
+			// Rescan each splittable child directly. The first reuses the
+			// parent's buffers (rebuilt from zero), so this path allocates
+			// exactly like — and computes bit-identically to — the
+			// pre-subtraction algorithm.
+			avail := c.hist
+			for _, ch := range [2]*leafCand{left, right} {
+				if ch.hi-ch.lo < minSplit {
+					continue
+				}
+				if avail != nil {
+					ch.hist, avail = avail, nil
+				} else {
+					ch.hist = gr.newHistSet()
+				}
+				gr.buildHist(ch, grad, hess)
+			}
+		}
+		c.hist = nil
+
+		gr.findBestSplit(left)
+		gr.findBestSplit(right)
 
 		cands[best] = left
 		cands = append(cands, right)
@@ -223,26 +301,76 @@ func (gr *grower) partition(lo, hi, f int, b uint8) int {
 	return w
 }
 
-// findBestSplit fills the candidate's best split fields: every considered
-// feature builds its histogram and proposes its best split in parallel
-// (features are independent, each writing only its own scratch buffers), and
-// the cross-feature winner is then reduced sequentially in feature order —
-// the same tie-breaking the serial scan had, for any worker count.
-func (gr *grower) findBestSplit(c *leafCand, grad, hess []float64) {
+// buildHist fills the candidate's histograms by scanning its rows, one
+// sampled feature per task (features are independent, each writing only its
+// own slice of the flat buffers).
+func (gr *grower) buildHist(c *leafCand, grad, hess []float64) {
+	pool := gr.pool
+	if c.hi-c.lo < minParallelRows {
+		pool = nil // leaf too small: run the feature scans inline
+	}
+	hs := c.hist
+	pool.Do(len(gr.feat), func(fi int) {
+		f := gr.feat[fi]
+		nb := gr.bnr.numBins(f)
+		if nb < 2 {
+			return // constant feature: never splittable, never scanned
+		}
+		off := gr.featOff[f]
+		hg := hs.g[off : off+nb]
+		hh := hs.h[off : off+nb]
+		hc := hs.c[off : off+nb]
+		for b := 0; b < nb; b++ {
+			hg[b], hh[b], hc[b] = 0, 0, 0
+		}
+		bins := gr.td.bins[f]
+		for i := c.lo; i < c.hi; i++ {
+			r := gr.idx[i]
+			b := bins[r]
+			hg[b] += grad[r]
+			hh[b] += hess[r]
+			hc[b]++
+		}
+	})
+}
+
+// subtractHist turns parent's histograms into the sibling's in place:
+// parent −= small over every sampled feature's bin range. O(totBins) —
+// cheap enough to stay inline on the growing goroutine.
+func (gr *grower) subtractHist(parent, small *histSet) {
+	for _, f := range gr.feat {
+		nb := gr.bnr.numBins(f)
+		if nb < 2 {
+			continue
+		}
+		off := gr.featOff[f]
+		for b := off; b < off+nb; b++ {
+			parent.g[b] -= small.g[b]
+			parent.h[b] -= small.h[b]
+			parent.c[b] -= small.c[b]
+		}
+	}
+}
+
+// findBestSplit fills the candidate's best split fields from its histograms:
+// every considered feature proposes its best split in parallel, and the
+// cross-feature winner is then reduced sequentially in feature order — the
+// same tie-breaking the serial scan had, for any worker count. A candidate
+// without histograms (too small to split) keeps gain 0.
+func (gr *grower) findBestSplit(c *leafCand) {
 	c.bestGain = 0
-	count := c.hi - c.lo
-	if count < 2*gr.p.MinDataInLeaf {
+	if c.hist == nil {
 		return
 	}
 	parentScore := c.sumG * c.sumG / (c.sumH + gr.p.Lambda)
 
 	pool := gr.pool
-	if count < minParallelRows {
-		pool = nil // leaf too small: run the feature scans inline
+	if c.hi-c.lo < minParallelRows {
+		pool = nil // leaf too small: run the split scans inline
 	}
 	best := gr.featBest[:len(gr.feat)]
 	pool.Do(len(gr.feat), func(fi int) {
-		best[fi] = gr.scanFeature(gr.feat[fi], c, grad, hess, parentScore)
+		best[fi] = gr.scanHist(gr.feat[fi], c, parentScore)
 	})
 	for _, fb := range best {
 		if fb.gain > c.bestGain {
@@ -254,9 +382,9 @@ func (gr *grower) findBestSplit(c *leafCand, grad, hess []float64) {
 	}
 }
 
-// scanFeature builds the histogram of feature f over the candidate's rows
-// and returns the best split the feature offers (gain 0 if none).
-func (gr *grower) scanFeature(f int, c *leafCand, grad, hess []float64, parentScore float64) featSplit {
+// scanHist walks feature f's histogram in the candidate's set and returns
+// the best split the feature offers (gain 0 if none).
+func (gr *grower) scanHist(f int, c *leafCand, parentScore float64) featSplit {
 	best := featSplit{feat: f}
 	nb := gr.bnr.numBins(f)
 	if nb < 2 {
@@ -264,18 +392,10 @@ func (gr *grower) scanFeature(f int, c *leafCand, grad, hess []float64, parentSc
 	}
 	count := c.hi - c.lo
 	lambda := gr.p.Lambda
-	bins := gr.td.bins[f]
-	hg, hh, hc := gr.histG[f], gr.histH[f], gr.histC[f]
-	for b := 0; b < nb; b++ {
-		hg[b], hh[b], hc[b] = 0, 0, 0
-	}
-	for i := c.lo; i < c.hi; i++ {
-		r := gr.idx[i]
-		b := bins[r]
-		hg[b] += grad[r]
-		hh[b] += hess[r]
-		hc[b]++
-	}
+	off := gr.featOff[f]
+	hg := c.hist.g[off : off+nb]
+	hh := c.hist.h[off : off+nb]
+	hc := c.hist.c[off : off+nb]
 	var lg, lh float64
 	var lc int
 	// Split on "bin ≤ b" for b in [0, nb-2].

@@ -1,0 +1,155 @@
+package gbdt
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dyadicGrads fills grad/hess with values of the form k/4 — exactly
+// representable in float64, so every histogram sum and every
+// parent − child subtraction is exact floating-point arithmetic. Under such
+// gradients the subtraction path must reproduce the scan path bit for bit.
+func dyadicGrads(rng *rand.Rand, grad, hess []float64) {
+	for i := range grad {
+		grad[i] = float64(rng.Intn(65))/4 - 8 // k/4 in [-8, 8]
+		hess[i] = float64(rng.Intn(8)+1) / 4  // k/4 in (0, 2]
+	}
+}
+
+// growBoth grows `rounds` trees twice from identical state — once per
+// NoHistSubtraction setting — and hands each pair to check.
+func growBoth(t *testing.T, rounds int, check func(round int, sub, scan *Tree)) {
+	t.Helper()
+	xs, _ := synth(3000, 5)
+	ys := make([]float64, len(xs))
+	p := DefaultParams()
+	p.NumLeaves = 31
+	p.MinDataInLeaf = 5
+	// Exercise the rng-driven sampling paths too: both growers draw the
+	// same bagging and feature permutations from identically seeded rngs.
+	p.BaggingFraction = 0.7
+	p.FeatureFraction = 0.8
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bnr := newBinner(nil, xs, len(xs[0]), p.MaxBins)
+	td := newTrainData(nil, bnr, xs, ys)
+
+	pSub, pScan := p, p
+	pSub.NoHistSubtraction = false
+	pScan.NoHistSubtraction = true
+	sub := newGrower(td, bnr, pSub, rand.New(rand.NewSource(11)), nil)
+	scan := newGrower(td, bnr, pScan, rand.New(rand.NewSource(11)), nil)
+
+	grng := rand.New(rand.NewSource(99))
+	grad := make([]float64, td.n)
+	hess := make([]float64, td.n)
+	for round := 0; round < rounds; round++ {
+		dyadicGrads(grng, grad, hess)
+		check(round, sub.grow(grad, hess), scan.grow(grad, hess))
+	}
+}
+
+// requireTreesBitIdentical compares two trees down to the float bits of
+// thresholds and leaf weights.
+func requireTreesBitIdentical(t *testing.T, round int, a, b *Tree) {
+	t.Helper()
+	if len(a.Nodes) != len(b.Nodes) || len(a.Leaves) != len(b.Leaves) {
+		t.Fatalf("round %d: shape differs: %d/%d nodes, %d/%d leaves",
+			round, len(a.Nodes), len(b.Nodes), len(a.Leaves), len(b.Leaves))
+	}
+	for i := range a.Nodes {
+		an, bn := a.Nodes[i], b.Nodes[i]
+		if an.Feature != bn.Feature || an.Left != bn.Left || an.Right != bn.Right ||
+			math.Float64bits(an.Threshold) != math.Float64bits(bn.Threshold) {
+			t.Fatalf("round %d: node %d differs: %+v vs %+v", round, i, an, bn)
+		}
+	}
+	for i := range a.Leaves {
+		if math.Float64bits(a.Leaves[i]) != math.Float64bits(b.Leaves[i]) {
+			t.Fatalf("round %d: leaf %d differs: %v vs %v", round, i, a.Leaves[i], b.Leaves[i])
+		}
+	}
+}
+
+// TestHistSubtractionBitIdenticalDyadic grows many trees under exactly
+// representable gradients and asserts the subtraction path and the
+// scan-everything path produce bit-identical trees: with exact sums, deriving
+// the larger child as parent − smaller is the same arithmetic as rescanning.
+func TestHistSubtractionBitIdenticalDyadic(t *testing.T) {
+	growBoth(t, 10, func(round int, sub, scan *Tree) {
+		requireTreesBitIdentical(t, round, sub, scan)
+		if round == 0 && len(sub.Nodes) < 5 {
+			t.Fatalf("degenerate tree (%d nodes); test exercises nothing", len(sub.Nodes))
+		}
+	})
+}
+
+// TestHistSubtractionBitIdenticalTrain asserts full-model bit identity
+// through the public Train path. One boosting round over 2^k rows with
+// dyadic targets keeps every gradient, the base score, and all histogram
+// sums exact, so the serialized models must match byte for byte.
+func TestHistSubtractionBitIdenticalTrain(t *testing.T) {
+	const n = 2048 // power of two: the base-score mean stays exact
+	rng := rand.New(rand.NewSource(17))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64() * 10, rng.Float64(), float64(rng.Intn(7))}
+		ys[i] = float64(rng.Intn(129)) / 4 // dyadic targets in [0, 32]
+	}
+	train := func(noSub bool) []byte {
+		p := DefaultParams()
+		p.NumRounds = 1
+		p.Objective = ObjectiveL2
+		p.Seed = 3
+		p.MinDataInLeaf = 5
+		p.ValidationFraction = 0 // keep all 2^k rows: the mean stays exact
+		p.NoHistSubtraction = noSub
+		m, _, err := Train(p, xs, ys, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	withSub, withoutSub := train(false), train(true)
+	if !bytes.Equal(withSub, withoutSub) {
+		t.Fatal("models differ between subtraction and scan paths under exact gradients")
+	}
+}
+
+// TestHistSubtractionFullTrainingAgrees compares complete multi-round
+// training runs with arbitrary (non-dyadic) gradients. Subtraction can round
+// differently in the last ulp, so this checks the models agree functionally:
+// held-out predictions match to within a tight relative tolerance.
+func TestHistSubtractionFullTrainingAgrees(t *testing.T) {
+	xs, ys := synth(3000, 8)
+	train := func(noSub bool) *Model {
+		p := DefaultParams()
+		p.NumRounds = 40
+		p.Objective = ObjectiveL2
+		p.Seed = 9
+		p.NoHistSubtraction = noSub
+		m, _, err := Train(p, xs, ys, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	withSub, withoutSub := train(false), train(true)
+	tx, _ := synth(500, 10)
+	for i, x := range tx {
+		a, b := withSub.Predict(x), withoutSub.Predict(x)
+		if d := math.Abs(a - b); d > 1e-9*(1+math.Abs(b)) {
+			t.Fatalf("row %d: predictions diverge: %v vs %v (diff %v)", i, a, b, d)
+		}
+	}
+}

@@ -75,6 +75,21 @@ var (
 	TrainRowsPerSec = Default.NewGauge("t3_train_rows_per_second",
 		"Training throughput of the last Train call (rows x rounds / s).")
 
+	// Label collection (internal/workload), the parallel runner producing
+	// the (plan, pipeline-time) training data.
+
+	// CollectQueries counts queries fully collected (analyze + timing runs).
+	CollectQueries = Default.NewCounter("t3_collect_queries_total",
+		"Queries executed by the label-collection runner.")
+	// CollectQueryTime is the per-query collection latency (analyze run plus
+	// all timing runs).
+	CollectQueryTime = Default.NewHistogram("t3_collect_query_seconds",
+		"Wall time to collect one query's labels.", UnitNanoseconds)
+	// CollectThroughput is the most recent collection throughput in
+	// queries per second across all workers.
+	CollectThroughput = Default.NewGauge("t3_collect_queries_per_second",
+		"Throughput of the last label-collection run.")
+
 	// Pipeline execution (internal/engine/exec), the ground-truth side of
 	// drift accounting.
 

@@ -143,6 +143,41 @@ func (p *Pool) Do(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// DoState runs fn(state, 0) … fn(state, n-1) across the pool like Do, but
+// hands every concurrent task one of min(Workers, n) per-worker states
+// created up front by newState. A state is owned exclusively by one task at a
+// time, so fn may mutate it freely; states are recycled between tasks, never
+// shared concurrently. On a nil or single-worker pool one state serves every
+// call inline. Like Do, execution order is unspecified — determinism must
+// come from tasks writing disjoint, index-keyed output slots.
+func DoState[S any](p *Pool, n int, newState func() S, fn func(st S, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if p == nil || p.tasks == nil || w <= 1 || n == 1 {
+		st := newState()
+		for i := 0; i < n; i++ {
+			fn(st, i)
+		}
+		return
+	}
+	states := make(chan S, w)
+	for i := 0; i < w; i++ {
+		states <- newState()
+	}
+	// Do bounds concurrency by the pool's worker count >= w states, so a
+	// task never blocks on the channel longer than one in-flight peer.
+	p.Do(n, func(i int) {
+		st := <-states
+		defer func() { states <- st }()
+		fn(st, i)
+	})
+}
+
 // For splits [0, n) into chunks of the given size and runs body(lo, hi) for
 // every chunk in parallel. Chunk boundaries depend only on n and chunk, so a
 // body writing output slots keyed by index produces identical results for

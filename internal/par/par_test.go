@@ -167,3 +167,48 @@ func TestSizedConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestDoStateEveryIndexOnceOwnedState(t *testing.T) {
+	type state struct {
+		id    int
+		inUse atomic.Bool
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 3, 17, 200} {
+			var created atomic.Int32
+			counts := make([]int32, n)
+			DoState(p, n,
+				func() *state { return &state{id: int(created.Add(1))} },
+				func(st *state, i int) {
+					if !st.inUse.CompareAndSwap(false, true) {
+						t.Error("state used by two tasks concurrently")
+					}
+					atomic.AddInt32(&counts[i], 1)
+					st.inUse.Store(false)
+				})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+			if n > 0 {
+				want := int32(min(workers, n))
+				if got := created.Load(); got != want {
+					t.Fatalf("workers=%d n=%d: created %d states, want %d", workers, n, got, want)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestDoStateNilPool(t *testing.T) {
+	var p *Pool
+	var states int
+	sum := 0
+	DoState(p, 5, func() int { states++; return 100 }, func(st, i int) { sum += st + i })
+	if states != 1 || sum != 510 {
+		t.Fatalf("nil pool DoState: states=%d sum=%d", states, sum)
+	}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+	"t3/internal/obs"
+	"t3/internal/par"
+)
+
+// Label is one collected training label: a query's annotated plan together
+// with the measured per-pipeline wall-clock times of every timing run — the
+// (plan, pipeline-time) pairs T3 trains on.
+type Label struct {
+	Name  string
+	Group Group
+	Root  *plan.Node
+	// Pipelines is the plan decomposition after the analyze run annotated
+	// true cardinalities.
+	Pipelines []*plan.Pipeline
+	// SourceRows[p] is the number of tuples scanned at pipeline p's source.
+	SourceRows []int
+	// PipelineRuns[r][p] is the measured time of pipeline p in timing run r.
+	PipelineRuns [][]time.Duration
+	// Totals[r] is the summed pipeline time of timing run r.
+	Totals []time.Duration
+}
+
+// LabelSet is the result of one collection over an instance's workload.
+type LabelSet struct {
+	Instance string
+	Labels   []*Label
+	// Elapsed is the wall-clock time of the whole collection.
+	Elapsed time.Duration
+	// Workers is the worker count the collection actually used.
+	Workers int
+}
+
+// CollectConfig controls parallel label collection.
+type CollectConfig struct {
+	// Workers is the number of collection workers (0 = GOMAXPROCS).
+	Workers int
+	// Runs is the number of timing runs per query after the analyze run
+	// (default 1).
+	Runs int
+	// PerGroup is the number of generated queries per structure group
+	// (default 1).
+	PerGroup int
+	// Seed drives query generation.
+	Seed int64
+	// BatchSize overrides the executor batch size when > 0.
+	BatchSize int
+	// runPlan, when non-nil, replaces plan execution (tests inject
+	// deterministic durations through it).
+	runPlan func(ex *exec.Executor, root *plan.Node, annotate bool) (*exec.RunResult, error)
+}
+
+// CollectLabels generates the instance's workload and executes every query —
+// one analyze run to annotate true cardinalities, then cfg.Runs timing runs —
+// fanning independent queries out across a fixed worker set. Each worker owns
+// its own executor state, and every query's plan is generated from a seed
+// that depends only on the query's position, so for a fixed (instance, cfg
+// minus Workers) the collected label set is byte-stable (see StableBytes) for
+// ANY worker count: parallelism changes wall-clock time, never the data.
+func CollectLabels(inst *Instance, cfg CollectConfig) (*LabelSet, error) {
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	if cfg.PerGroup < 1 {
+		cfg.PerGroup = 1
+	}
+	run := cfg.runPlan
+	if run == nil {
+		run = func(ex *exec.Executor, root *plan.Node, annotate bool) (*exec.RunResult, error) {
+			return ex.Run(root, annotate)
+		}
+	}
+
+	qs := GenerateQueries(inst, GenConfig{PerGroup: cfg.PerGroup, Seed: cfg.Seed})
+	pool := par.Sized(cfg.Workers)
+	out := make([]*Label, len(qs))
+	errs := make([]error, len(qs))
+
+	start := time.Now()
+	par.DoState(pool, len(qs),
+		func() *exec.Executor { return &exec.Executor{BatchSize: cfg.BatchSize} },
+		func(ex *exec.Executor, i int) {
+			q := qs[i]
+			qStart := time.Now()
+			// Analyze run: annotate true cardinalities on the plan.
+			res, err := run(ex, q.Root, true)
+			if err != nil {
+				errs[i] = fmt.Errorf("analyze %s: %w", q.Name, err)
+				return
+			}
+			l := &Label{
+				Name:      q.Name,
+				Group:     q.Group,
+				Root:      q.Root,
+				Pipelines: plan.Decompose(q.Root),
+			}
+			for _, pt := range res.Pipelines {
+				l.SourceRows = append(l.SourceRows, pt.SourceRows)
+			}
+			for r := 0; r < cfg.Runs; r++ {
+				res, err := run(ex, q.Root, false)
+				if err != nil {
+					errs[i] = fmt.Errorf("run %d of %s: %w", r, q.Name, err)
+					return
+				}
+				times := make([]time.Duration, len(res.Pipelines))
+				for p, pt := range res.Pipelines {
+					times[p] = pt.Duration
+				}
+				l.PipelineRuns = append(l.PipelineRuns, times)
+				l.Totals = append(l.Totals, res.Total)
+			}
+			out[i] = l
+			obs.CollectQueries.Inc()
+			obs.CollectQueryTime.Since(qStart)
+		})
+	elapsed := time.Since(start)
+
+	// Report the first error in query order: deterministic regardless of
+	// which worker hit it first.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		obs.CollectThroughput.Set(float64(len(qs)) / secs)
+	}
+	return &LabelSet{
+		Instance: inst.Name,
+		Labels:   out,
+		Elapsed:  elapsed,
+		Workers:  pool.Workers(),
+	}, nil
+}
+
+// StableBytes serializes everything about the label set that is independent
+// of measurement noise and scheduling: query identities, plan decompositions,
+// source cardinalities, annotated true cardinalities and selectivities, and
+// the shape of the timing data — but NOT the measured durations themselves.
+// This is the determinism contract of parallel collection: StableBytes is
+// byte-identical for any worker count.
+func (ls *LabelSet) StableBytes() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(ls.Instance)
+	for _, l := range ls.Labels {
+		buf.WriteByte(0)
+		buf.WriteString(l.Name)
+		buf.WriteByte(0)
+		buf.WriteString(string(l.Group))
+		writeUvarint(&buf, uint64(len(l.PipelineRuns)))
+		writeUvarint(&buf, uint64(len(l.Pipelines)))
+		for p, pl := range l.Pipelines {
+			writeUvarint(&buf, uint64(len(pl.Stages)))
+			for _, s := range pl.Stages {
+				writeUvarint(&buf, uint64(s.Node.Op))
+				writeUvarint(&buf, uint64(s.Stage))
+			}
+			writeUvarint(&buf, uint64(l.SourceRows[p]))
+		}
+		l.Root.Walk(func(n *plan.Node) {
+			writeUvarint(&buf, math.Float64bits(n.OutCard.True))
+			for i := range n.PredSel {
+				writeUvarint(&buf, math.Float64bits(n.PredSel[i].True))
+			}
+		})
+	}
+	return buf.Bytes()
+}
+
+// Bytes serializes the full label set including measured durations. Two
+// collections agree byte-for-byte only when durations were injected
+// deterministically (the runner's plumbing tests do exactly that); real
+// measurements differ run to run, which is why StableBytes exists.
+func (ls *LabelSet) Bytes() []byte {
+	var buf bytes.Buffer
+	buf.Write(ls.StableBytes())
+	for _, l := range ls.Labels {
+		for r, times := range l.PipelineRuns {
+			writeUvarint(&buf, uint64(l.Totals[r]))
+			for _, d := range times {
+				writeUvarint(&buf, uint64(d))
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// Fingerprint is an FNV-1a hash of StableBytes, cheap to print and compare.
+func (ls *LabelSet) Fingerprint() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range ls.StableBytes() {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}

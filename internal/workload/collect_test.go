@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+)
+
+// collectInstance builds a small deterministic instance for collection tests.
+func collectInstance(t testing.TB) *Instance {
+	t.Helper()
+	return MustGenerate(TPCHSpec("tpch_collect", 0.002, 99))
+}
+
+// TestCollectLabelsDeterministicAcrossWorkers is the runner's core contract:
+// the stable serialization of the collected label set must be byte-identical
+// for every worker count.
+func TestCollectLabelsDeterministicAcrossWorkers(t *testing.T) {
+	in := collectInstance(t)
+	var ref []byte
+	for _, workers := range []int{1, 2, 4} {
+		ls, err := CollectLabels(in, CollectConfig{Workers: workers, Runs: 2, PerGroup: 2, Seed: 7})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(ls.Labels) == 0 {
+			t.Fatalf("workers=%d: no labels collected", workers)
+		}
+		for i, l := range ls.Labels {
+			if l == nil {
+				t.Fatalf("workers=%d: label %d missing", workers, i)
+			}
+			if len(l.PipelineRuns) != 2 {
+				t.Fatalf("workers=%d: label %d has %d runs, want 2", workers, i, len(l.PipelineRuns))
+			}
+			if len(l.SourceRows) != len(l.Pipelines) {
+				t.Fatalf("workers=%d: label %d source rows %d != pipelines %d",
+					workers, i, len(l.SourceRows), len(l.Pipelines))
+			}
+		}
+		b := ls.StableBytes()
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(b, ref) {
+			t.Fatalf("workers=%d: stable bytes differ from workers=1 (%d vs %d bytes)",
+				workers, len(b), len(ref))
+		}
+	}
+}
+
+// TestCollectLabelsFullByteIdentity stubs execution with deterministic
+// durations and asserts FULL byte identity — including the timing payload —
+// across worker counts, proving the runner's ordering and plumbing add no
+// nondeterminism of their own.
+func TestCollectLabelsFullByteIdentity(t *testing.T) {
+	in := collectInstance(t)
+	stub := func(ex *exec.Executor, root *plan.Node, annotate bool) (*exec.RunResult, error) {
+		res, err := ex.Run(root, annotate)
+		if err != nil {
+			return nil, err
+		}
+		// Replace measured times with a deterministic function of the
+		// pipeline's position and source cardinality.
+		res.Total = 0
+		for i := range res.Pipelines {
+			p := &res.Pipelines[i]
+			p.Duration = time.Duration(i+1)*time.Microsecond + time.Duration(p.SourceRows)
+			res.Total += p.Duration
+		}
+		return res, nil
+	}
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		ls, err := CollectLabels(in, CollectConfig{
+			Workers: workers, Runs: 3, PerGroup: 2, Seed: 7, runPlan: stub,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b := ls.Bytes()
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(b, ref) {
+			t.Fatalf("workers=%d: full bytes differ from workers=1", workers)
+		}
+	}
+}
+
+// TestCollectLabelsParallel exercises the fan-out with more workers than
+// GOMAXPROCS typically grants and verifies per-worker executor states are
+// actually distinct. Run under -race this is the runner's data-race test.
+func TestCollectLabelsParallel(t *testing.T) {
+	in := collectInstance(t)
+	var calls atomic.Int64
+	seen := make(map[*exec.Executor]bool)
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	stub := func(ex *exec.Executor, root *plan.Node, annotate bool) (*exec.RunResult, error) {
+		calls.Add(1)
+		<-mu
+		seen[ex] = true
+		mu <- struct{}{}
+		return ex.Run(root, annotate)
+	}
+	ls, err := CollectLabels(in, CollectConfig{Workers: 4, Runs: 1, PerGroup: 1, Seed: 3, runPlan: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(calls.Load()); got != 2*len(ls.Labels) {
+		t.Fatalf("stub called %d times, want %d (analyze + 1 run per query)", got, 2*len(ls.Labels))
+	}
+	if len(seen) < 1 || len(seen) > 4 {
+		t.Fatalf("saw %d executor states, want between 1 and 4", len(seen))
+	}
+	// Fingerprint must match a serial collection of the same config.
+	serial, err := CollectLabels(in, CollectConfig{Workers: 1, Runs: 1, PerGroup: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Fingerprint() != serial.Fingerprint() {
+		t.Fatal("parallel and serial fingerprints differ")
+	}
+}
+
+// TestCollectLabelsErrorIsDeterministic injects a failure on one specific
+// query and checks the reported error does not depend on the worker count.
+func TestCollectLabelsErrorIsDeterministic(t *testing.T) {
+	in := collectInstance(t)
+	var msgs []string
+	for _, workers := range []int{1, 4} {
+		var n atomic.Int64
+		stub := func(ex *exec.Executor, root *plan.Node, annotate bool) (*exec.RunResult, error) {
+			n.Add(1)
+			if annotate && root.Op == plan.GroupByOp {
+				return nil, errBoom
+			}
+			return ex.Run(root, annotate)
+		}
+		_, err := CollectLabels(in, CollectConfig{Workers: workers, Runs: 1, PerGroup: 1, Seed: 3, runPlan: stub})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("error depends on worker count: %q vs %q", msgs[0], msgs[1])
+	}
+}
+
+var errBoom = &collectTestError{}
+
+type collectTestError struct{}
+
+func (*collectTestError) Error() string { return "injected failure" }
+
+// BenchmarkLabelCollect measures end-to-end label-collection throughput at
+// several worker counts over the same instance and workload.
+func BenchmarkLabelCollect(b *testing.B) {
+	in := MustGenerate(TPCHSpec("tpch_bench", 0.01, 42))
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			var queries int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ls, err := CollectLabels(in, CollectConfig{Workers: workers, Runs: 1, PerGroup: 1, Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries = len(ls.Labels)
+			}
+			b.ReportMetric(float64(queries*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+func benchName(workers int) string {
+	switch workers {
+	case 1:
+		return "workers=1"
+	case 2:
+		return "workers=2"
+	default:
+		return "workers=4"
+	}
+}

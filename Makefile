@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-baseline bench-predict bench-engine train compile experiments serve clean
+.PHONY: all build test vet bench bench-baseline bench-predict bench-engine fuzz-smoke train compile experiments serve clean
 
 all: build vet test
 
@@ -33,6 +33,18 @@ bench-predict:
 bench-engine:
 	go test -run xxx -bench '^(BenchmarkHashJoin|BenchmarkGroupBy)$$' -benchmem -json ./internal/engine/exec/ > BENCH_engine.json
 	go test -run xxx -bench '^BenchmarkLabelCollect$$' -benchmem -json ./internal/workload/ >> BENCH_engine.json
+
+# Short fuzzing pass over every native fuzz target, starting from the
+# checked-in corpora under testdata/fuzz/. Override the per-target budget
+# with e.g. `make fuzz-smoke FUZZTIME=2m`.
+FUZZTIME ?= 20s
+
+fuzz-smoke:
+	go test -run xxx -fuzz '^FuzzExecDifferential$$' -fuzztime $(FUZZTIME) ./internal/engine/exec/
+	go test -run xxx -fuzz '^FuzzTreeTiers$$' -fuzztime $(FUZZTIME) ./internal/treec/
+	go test -run xxx -fuzz '^FuzzPlanIO$$' -fuzztime $(FUZZTIME) ./internal/planio/
+	go test -run xxx -fuzz '^FuzzSQL$$' -fuzztime $(FUZZTIME) ./internal/sql/
+	go test -run xxx -fuzz '^FuzzHistogramMerge$$' -fuzztime $(FUZZTIME) ./internal/obs/
 
 # Rebuild the checked-in model and its compiled form.
 train:

@@ -117,8 +117,9 @@ func (rt *runtime) makeBuild(n *plan.Node) (pushFn, func(), error) {
 func (rt *runtime) makeJoinBuild(n *plan.Node) (pushFn, func(), error) {
 	in := n.Left
 	// Presize from the build input's cardinality annotation so steady-state
-	// builds (label collection re-executing annotated plans) never rehash.
-	st := &joinState{ht: rt.scratch.table(expectedCard(in.OutCard))}
+	// builds (label collection re-executing annotated plans) never rehash,
+	// clamped to what the input can actually produce.
+	st := &joinState{ht: rt.scratch.table(presize(in.OutCard, in))}
 	st.keyCols = make([]storage.Column, len(n.BuildKeys))
 	for k, ci := range n.BuildKeys {
 		st.keyCols[k] = storage.Column{Kind: in.Schema[ci].Kind}
@@ -225,8 +226,9 @@ func (st *groupState) addGroup(aggs []plan.Agg) {
 func (rt *runtime) makeGroupByBuild(n *plan.Node) (pushFn, func(), error) {
 	in := n.Left
 	// Presize from the group-by's own output-cardinality annotation: the
-	// number of entries is the number of distinct groups.
-	st := &groupState{ht: rt.scratch.table(expectedCard(n.OutCard))}
+	// number of entries is the number of distinct groups, which can never
+	// exceed the input row count.
+	st := &groupState{ht: rt.scratch.table(presize(n.OutCard, n.Left))}
 	st.keyCols = make([]storage.Column, len(n.GroupCols))
 	for k, ci := range n.GroupCols {
 		st.keyCols[k] = storage.Column{Name: in.Schema[ci].Name, Kind: in.Schema[ci].Kind}

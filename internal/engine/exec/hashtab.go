@@ -133,23 +133,80 @@ func (t *hashTab) grow() {
 	}
 }
 
+// maxPresize caps annotation-driven hash-table presizing so a wild
+// overestimate cannot balloon the initial allocation.
+const maxPresize = 1 << 22
+
 // expectedCard reads a cardinality annotation for presizing: the measured
-// (true) value when an analyze run filled it, the estimate otherwise, capped
-// so a wild overestimate cannot balloon the initial allocation.
+// (true) value when an analyze run filled it, the estimate otherwise.
+// Annotations are untrusted inputs (estimators produce garbage, deserialized
+// plans carry arbitrary values): negative, zero, and NaN values all read as
+// 0, and the result is capped at maxPresize. The !(v > 0) comparisons are
+// deliberate — v <= 0 is false for NaN, which would then flow into int(v),
+// an implementation-defined conversion.
 func expectedCard(c plan.Card) int {
 	v := c.True
-	if v <= 0 {
+	if !(v > 0) {
 		v = c.Est
 	}
-	const maxPresize = 1 << 22
 	switch {
-	case v <= 0:
+	case !(v > 0):
 		return 0
 	case v > maxPresize:
 		return maxPresize
 	default:
 		return int(v)
 	}
+}
+
+// inputBound returns an upper bound on the number of tuples n can emit,
+// derived from base-table sizes rather than annotations. Build stages clamp
+// annotation-driven presizing with it, so a hostile annotation (say 1e18 on
+// a 3-row input) cannot allocate maxPresize slots for a tiny build.
+func inputBound(n *plan.Node) int {
+	if n == nil {
+		return 0
+	}
+	switch n.Op {
+	case plan.TableScanOp:
+		if n.Table == nil {
+			// Unbound scans (deserialized plans) carry no size information;
+			// fall back to the global cap rather than guessing small.
+			return maxPresize
+		}
+		return n.Table.NumRows()
+	case plan.HashJoinOp:
+		l, r := inputBound(n.Left), inputBound(n.Right)
+		p := int64(l) * int64(r)
+		if l != 0 && p/int64(l) != int64(r) || p > maxPresize {
+			return maxPresize
+		}
+		return int(p)
+	case plan.LimitOp:
+		b := inputBound(n.Left)
+		if n.LimitN < 0 {
+			return 0
+		}
+		if n.LimitN < b {
+			return n.LimitN
+		}
+		return b
+	default:
+		// Filter, map, group-by, sort, window, materialize never emit more
+		// tuples than their input carries.
+		return inputBound(n.Left)
+	}
+}
+
+// presize combines an annotation with the annotation-independent input
+// bound: the annotation is trusted only up to what the input can possibly
+// produce.
+func presize(c plan.Card, input *plan.Node) int {
+	e := expectedCard(c)
+	if b := inputBound(input); b < e {
+		return b
+	}
+	return e
 }
 
 // execScratch holds the reusable buffers of one plan execution: batch

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -445,5 +446,113 @@ func TestExecScratchArenaReuse(t *testing.T) {
 	}
 	if again := s.selBuf(16); cap(again) < 1024 {
 		t.Fatal("selBuf shrank its retained capacity")
+	}
+}
+
+// TestExpectedCardHostile covers the adversarial annotation values genplan
+// produces: negative, NaN, and infinite cardinalities must never reach
+// int(v) unclamped.
+func TestExpectedCardHostile(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		card plan.Card
+		want int
+	}{
+		{plan.Card{True: -5, Est: -7}, 0},
+		{plan.Card{True: nan, Est: nan}, 0},
+		{plan.Card{True: nan, Est: 40}, 40},
+		{plan.Card{True: -1, Est: 40}, 40},
+		{plan.Card{True: math.Inf(1)}, maxPresize},
+		{plan.Card{True: math.Inf(-1), Est: math.Inf(-1)}, 0},
+		{plan.Card{True: 1e18}, maxPresize},
+	}
+	for _, c := range cases {
+		if got := expectedCard(c.card); got != c.want {
+			t.Errorf("expectedCard(%+v) = %d, want %d", c.card, got, c.want)
+		}
+	}
+}
+
+// TestInputBound checks the annotation-independent presize bound.
+func TestInputBound(t *testing.T) {
+	small := mkTable("s", 3, 1)
+	big := mkTable("b", 500, 2)
+	scanS := plan.NewTableScan(small, []int{0, 1})
+	scanB := plan.NewTableScan(big, []int{0, 1})
+
+	if got := inputBound(scanS); got != 3 {
+		t.Errorf("inputBound(scan 3 rows) = %d, want 3", got)
+	}
+	if got := inputBound(plan.NewFilter(scanS, nil)); got != 3 {
+		t.Errorf("inputBound(filter) = %d, want 3", got)
+	}
+	if got := inputBound(plan.NewLimit(scanB, 7)); got != 7 {
+		t.Errorf("inputBound(limit 7) = %d, want 7", got)
+	}
+	if got := inputBound(plan.NewLimit(scanS, 1000)); got != 3 {
+		t.Errorf("inputBound(limit 1000 over 3) = %d, want 3", got)
+	}
+	if got := inputBound(plan.NewLimit(scanS, -2)); got != 0 {
+		t.Errorf("inputBound(limit -2) = %d, want 0", got)
+	}
+	join := plan.NewHashJoin(scanS, scanB, []int{0}, []int{0}, []int{1})
+	if got := inputBound(join); got != 1500 {
+		t.Errorf("inputBound(join 3x500) = %d, want 1500", got)
+	}
+	// Unbound scans (deserialized plans) must fall back to the cap, not 0.
+	if got := inputBound(&plan.Node{Op: plan.TableScanOp}); got != maxPresize {
+		t.Errorf("inputBound(unbound scan) = %d, want maxPresize", got)
+	}
+	// Nested join products saturate at the cap instead of overflowing.
+	deep := join
+	for i := 0; i < 12; i++ {
+		deep = plan.NewHashJoin(deep, scanB, []int{0}, []int{0}, nil)
+	}
+	if got := inputBound(deep); got != maxPresize {
+		t.Errorf("inputBound(deep join chain) = %d, want maxPresize", got)
+	}
+}
+
+// TestPresizeClampedByInput is the regression test for hostile cardinality
+// annotations: a 3-row build annotated with 1e18 (or NaN) rows must presize
+// from the input bound, not the annotation, and the plan must still execute
+// correctly.
+func TestPresizeClampedByInput(t *testing.T) {
+	build := mkTable("b", 3, 11)
+	probe := mkTable("p", 40, 12)
+	sb := plan.NewTableScan(build, []int{0, 1})
+	sp := plan.NewTableScan(probe, []int{0, 1})
+	join := plan.NewHashJoin(sb, sp, []int{0}, []int{0}, []int{1})
+
+	for _, hostile := range []float64{1e18, math.Inf(1), math.NaN(), -42} {
+		sb.OutCard = plan.Card{True: hostile, Est: hostile}
+		got := presize(sb.OutCard, sb)
+		if got > 3 {
+			t.Fatalf("presize with annotation %v = %d, want <= 3 (input rows)", hostile, got)
+		}
+		var ht hashTab
+		ht.reset(got)
+		if len(ht.slots) != htMinCap {
+			t.Fatalf("annotation %v: presized %d slots, want minimum %d", hostile, len(ht.slots), htMinCap)
+		}
+		res, err := Run(join, false)
+		if err != nil {
+			t.Fatalf("annotation %v: %v", hostile, err)
+		}
+		if res.Rows == 0 {
+			t.Fatalf("annotation %v: join produced no rows", hostile)
+		}
+	}
+
+	// Group-by: the group count is bounded by the input rows, not by the
+	// hostile output annotation.
+	gb := plan.NewGroupBy(plan.NewTableScan(build, []int{0, 1}), []int{0},
+		[]plan.Agg{{Fn: plan.AggCount}}, []string{"c"})
+	gb.OutCard = plan.Card{True: 1e18, Est: math.NaN()}
+	if got := presize(gb.OutCard, gb.Left); got > 3 {
+		t.Fatalf("group-by presize = %d, want <= 3", got)
+	}
+	if _, err := Run(gb, false); err != nil {
+		t.Fatal(err)
 	}
 }

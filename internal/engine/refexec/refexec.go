@@ -1,0 +1,549 @@
+// Package refexec is a deliberately naive reference interpreter over the
+// engine's plan IR. It exists for one purpose: differential testing of the
+// optimized vectorized executor (internal/engine/exec) and everything layered
+// on top of it.
+//
+// Design rules, chosen so that bugs in the optimized engine cannot hide in
+// shared code or shared data structures:
+//
+//   - Row at a time. No batches, no selection vectors, no compaction — every
+//     operator consumes and produces plain []row slices.
+//   - No maps. Hash joins are evaluated as nested loops over the build rows
+//     in insertion order; group-by is ordered aggregation with a linear scan
+//     over the groups in discovery order. This makes the interpreter's output
+//     order a deterministic function of the input, matching the documented
+//     order of the optimized kernels (probe matches in build insertion order,
+//     groups in discovery order) without depending on Go map iteration.
+//   - Independent expression evaluation. Predicates and value expressions are
+//     re-implemented per row by type-switching on the expr package's node
+//     types, mirroring the engine's *documented* semantics (constant
+//     coercion by column type, NULL fails every predicate, division by zero
+//     yields zero, LIKE via an independent matcher) rather than calling the
+//     engine's vectorized evaluators.
+//
+// NULL semantics mirror the engine's: null flags exist only between a table
+// scan and the first materialization point (join build/probe output,
+// group-by, sort, window, materialize all strip them); while they exist, any
+// predicate over a NULL value is false.
+package refexec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// value is one scalar with an optional null flag. Exactly one of i/f/s is
+// meaningful, selected by k.
+type value struct {
+	k    storage.Type
+	i    int64
+	f    float64
+	s    string
+	null bool
+}
+
+// row is one tuple.
+type row []value
+
+// Result is the interpreter's materialized query output, shaped like the
+// engine's exec.Materialized so differential tests can compare column by
+// column.
+type Result struct {
+	Cols []storage.Column
+	N    int
+}
+
+// Run interprets the plan and returns its full result.
+func Run(root *plan.Node) (*Result, error) {
+	rows, err := eval(root)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(root.Schema, rows), nil
+}
+
+// materialize converts rows into columnar form (dropping null flags, exactly
+// like the engine's result materialization does).
+func materialize(schema []plan.ColMeta, rows []row) *Result {
+	res := &Result{Cols: make([]storage.Column, len(schema)), N: len(rows)}
+	for c, cm := range schema {
+		col := storage.Column{Name: cm.Name, Kind: cm.Kind}
+		switch cm.Kind {
+		case storage.Int64:
+			col.Ints = make([]int64, 0, len(rows))
+			for _, r := range rows {
+				col.Ints = append(col.Ints, r[c].i)
+			}
+		case storage.Float64:
+			col.Flts = make([]float64, 0, len(rows))
+			for _, r := range rows {
+				col.Flts = append(col.Flts, r[c].f)
+			}
+		case storage.String:
+			col.Strs = make([]string, 0, len(rows))
+			for _, r := range rows {
+				col.Strs = append(col.Strs, r[c].s)
+			}
+		}
+		res.Cols[c] = col
+	}
+	return res
+}
+
+// stripNulls clears null flags in place — the reference analogue of the
+// engine dropping null vectors at every materialization boundary.
+func stripNulls(rows []row) []row {
+	for _, r := range rows {
+		for c := range r {
+			r[c].null = false
+		}
+	}
+	return rows
+}
+
+// eval interprets the subtree rooted at n into rows.
+func eval(n *plan.Node) ([]row, error) {
+	switch n.Op {
+	case plan.TableScanOp:
+		return evalScan(n)
+	case plan.FilterOp:
+		in, err := eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		var out []row
+		for _, r := range in {
+			ok, err := evalBool(n.FilterPred, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	case plan.MapOp:
+		return evalMap(n)
+	case plan.HashJoinOp:
+		return evalJoin(n)
+	case plan.GroupByOp:
+		return evalGroupBy(n)
+	case plan.SortOp:
+		in, err := eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return sortRows(stripNulls(in), n.SortCols, n.SortDesc), nil
+	case plan.WindowOp:
+		return evalWindow(n)
+	case plan.MaterializeOp:
+		in, err := eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return stripNulls(in), nil
+	case plan.LimitOp:
+		in, err := eval(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		if n.LimitN <= 0 {
+			return nil, nil
+		}
+		if len(in) > n.LimitN {
+			in = in[:n.LimitN]
+		}
+		return in, nil
+	default:
+		return nil, fmt.Errorf("refexec: unsupported operator %v", n.Op)
+	}
+}
+
+// evalScan reads the base table row by row, applying pushed-down predicates
+// with short-circuit AND semantics.
+func evalScan(n *plan.Node) ([]row, error) {
+	t := n.Table
+	if t == nil {
+		return nil, fmt.Errorf("refexec: table scan %q has no bound table", n.TableName)
+	}
+	var out []row
+	total := t.NumRows()
+	for i := 0; i < total; i++ {
+		r := make(row, len(n.ScanCols))
+		for c, ci := range n.ScanCols {
+			col := &t.Columns[ci]
+			v := value{k: col.Kind, null: col.IsNull(i)}
+			switch col.Kind {
+			case storage.Int64:
+				v.i = col.Ints[i]
+			case storage.Float64:
+				v.f = col.Flts[i]
+			case storage.String:
+				v.s = col.Strs[i]
+			}
+			r[c] = v
+		}
+		keep := true
+		for _, p := range n.Predicates {
+			ok, err := evalBool(p, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// evalMap appends (or, for projections, replaces with) computed columns.
+func evalMap(n *plan.Node) ([]row, error) {
+	in, err := eval(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]row, len(in))
+	for i, r := range in {
+		var nr row
+		if !n.MapReplaces() {
+			nr = append(nr, r...)
+		}
+		for _, e := range n.MapExprs {
+			v, err := evalValue(e, r)
+			if err != nil {
+				return nil, err
+			}
+			nr = append(nr, v)
+		}
+		out[i] = nr
+	}
+	return out, nil
+}
+
+// evalJoin is an inner hash join evaluated as a nested loop: for every probe
+// row in stream order, matches are emitted in build insertion order — the
+// same output order as the engine's open-addressing kernel.
+func evalJoin(n *plan.Node) ([]row, error) {
+	build, err := eval(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := eval(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	stripNulls(build)
+	stripNulls(probe)
+	var out []row
+	for _, pr := range probe {
+		for _, br := range build {
+			match := true
+			for k := range n.BuildKeys {
+				if !valueEqual(br[n.BuildKeys[k]], pr[n.ProbeKeys[k]]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			nr := make(row, 0, len(pr)+len(n.BuildPayload))
+			nr = append(nr, pr...)
+			for _, ci := range n.BuildPayload {
+				nr = append(nr, br[ci])
+			}
+			out = append(out, nr)
+		}
+	}
+	return out, nil
+}
+
+// valueEqual mirrors the engine's key equality: same-kind comparison of the
+// stored values (null flags were already stripped at the join boundary).
+func valueEqual(a, b value) bool {
+	switch a.k {
+	case storage.Int64:
+		return a.i == b.i
+	case storage.Float64:
+		return a.f == b.f
+	default:
+		return a.s == b.s
+	}
+}
+
+// group is one aggregation group: its key row plus accumulators mirroring
+// the engine's groupState exactly (float64 sums even for integer min/max,
+// lazily meaningful string min/max, per-aggregate counts).
+type group struct {
+	key    row
+	sums   []float64
+	counts []int64
+	strMin []string
+	strMax []string
+}
+
+// evalGroupBy is ordered hash aggregation without the hash: groups are found
+// by a linear scan in discovery order.
+func evalGroupBy(n *plan.Node) ([]row, error) {
+	in, err := eval(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	stripNulls(in)
+	var groups []*group
+	newGroup := func(key row) *group {
+		g := &group{
+			key:    key,
+			sums:   make([]float64, len(n.Aggs)),
+			counts: make([]int64, len(n.Aggs)),
+			strMin: make([]string, len(n.Aggs)),
+			strMax: make([]string, len(n.Aggs)),
+		}
+		for a, agg := range n.Aggs {
+			switch agg.Fn {
+			case plan.AggMin:
+				g.sums[a] = math.Inf(1)
+			case plan.AggMax:
+				g.sums[a] = math.Inf(-1)
+			}
+		}
+		return g
+	}
+	for _, r := range in {
+		key := make(row, len(n.GroupCols))
+		for k, ci := range n.GroupCols {
+			key[k] = r[ci]
+		}
+		var g *group
+		for _, cand := range groups {
+			same := true
+			for k := range key {
+				if !valueEqual(cand.key[k], key[k]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = newGroup(key)
+			groups = append(groups, g)
+		}
+		for a, agg := range n.Aggs {
+			accumulate(g, a, agg, r)
+		}
+	}
+	// A global aggregate over empty input still yields one row.
+	if len(n.GroupCols) == 0 && len(groups) == 0 {
+		groups = append(groups, newGroup(nil))
+	}
+	out := make([]row, len(groups))
+	ng := len(n.GroupCols)
+	for gi, g := range groups {
+		r := make(row, len(n.Schema))
+		copy(r, g.key)
+		for a, agg := range n.Aggs {
+			r[ng+a] = finishAgg(n.Schema[ng+a].Kind, g, a, agg)
+		}
+		out[gi] = r
+	}
+	return out, nil
+}
+
+// accumulate folds one input row into group g's accumulator for aggregate a,
+// mirroring the engine's updateAcc semantics exactly (including SUM/AVG over
+// string columns counting but never summing).
+func accumulate(g *group, a int, agg plan.Agg, r row) {
+	if agg.Fn == plan.AggCount {
+		g.counts[a]++
+		return
+	}
+	v := r[agg.Col]
+	if v.k == storage.String {
+		first := g.counts[a] == 0
+		switch agg.Fn {
+		case plan.AggMin:
+			if first || v.s < g.strMin[a] {
+				g.strMin[a] = v.s
+			}
+		case plan.AggMax:
+			if first || v.s > g.strMax[a] {
+				g.strMax[a] = v.s
+			}
+		}
+		g.counts[a]++
+		return
+	}
+	x := v.f
+	if v.k == storage.Int64 {
+		x = float64(v.i)
+	}
+	switch agg.Fn {
+	case plan.AggSum, plan.AggAvg:
+		g.sums[a] += x
+	case plan.AggMin:
+		if x < g.sums[a] {
+			g.sums[a] = x
+		}
+	case plan.AggMax:
+		if x > g.sums[a] {
+			g.sums[a] = x
+		}
+	}
+	g.counts[a]++
+}
+
+// finishAgg converts a finished accumulator to the output value, mirroring
+// the engine's writeAgg (infinities from empty min/max clamp to zero, AVG of
+// an empty group is zero, integer min/max round-trips through float64).
+func finishAgg(kind storage.Type, g *group, a int, agg plan.Agg) value {
+	out := value{k: kind}
+	switch kind {
+	case storage.Int64:
+		if agg.Fn == plan.AggCount {
+			out.i = g.counts[a]
+		} else {
+			v := g.sums[a]
+			if math.IsInf(v, 0) {
+				v = 0
+			}
+			out.i = int64(v)
+		}
+	case storage.Float64:
+		v := g.sums[a]
+		if agg.Fn == plan.AggAvg {
+			if g.counts[a] > 0 {
+				v /= float64(g.counts[a])
+			} else {
+				v = 0
+			}
+		}
+		if math.IsInf(v, 0) {
+			v = 0
+		}
+		out.f = v
+	case storage.String:
+		switch agg.Fn {
+		case plan.AggMin:
+			out.s = g.strMin[a]
+		case plan.AggMax:
+			out.s = g.strMax[a]
+		}
+	}
+	return out
+}
+
+// sortRows stably sorts rows by the key columns; desc may be shorter than
+// keys (missing entries sort ascending), mirroring the engine.
+func sortRows(rows []row, keys []int, desc []bool) []row {
+	sort.SliceStable(rows, func(x, y int) bool {
+		a, b := rows[x], rows[y]
+		for k, ci := range keys {
+			cmp := compareValues(a[ci], b[ci])
+			if cmp != 0 {
+				if k < len(desc) && desc[k] {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+// compareValues orders two same-kind values.
+func compareValues(a, b value) int {
+	switch a.k {
+	case storage.Int64:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+	case storage.Float64:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+	case storage.String:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+	}
+	return 0
+}
+
+// evalWindow materializes, sorts by partition then order keys (ascending,
+// stable), and computes the window function as a running scan.
+func evalWindow(n *plan.Node) ([]row, error) {
+	in, err := eval(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	keys := append(append([]int(nil), n.WinPartition...), n.WinOrder...)
+	sorted := sortRows(stripNulls(in), keys, nil)
+
+	outKind := n.Schema[len(n.Schema)-1].Kind
+	out := make([]row, len(sorted))
+	var rowNum, rank int64
+	var runSum float64
+	for i, r := range sorted {
+		newPart := i == 0 || !sameKeys(sorted[i], sorted[i-1], n.WinPartition)
+		if newPart {
+			rowNum, rank, runSum = 0, 0, 0
+		}
+		rowNum++
+		if newPart || !sameKeys(sorted[i], sorted[i-1], n.WinOrder) {
+			rank = rowNum
+		}
+		v := value{k: outKind}
+		switch n.WinFunc {
+		case plan.WinRowNumber:
+			v.i = rowNum
+		case plan.WinRank:
+			v.i = rank
+		case plan.WinSum:
+			arg := r[n.WinArg]
+			if arg.k == storage.Int64 {
+				runSum += float64(arg.i)
+			} else {
+				runSum += arg.f
+			}
+			v.f = runSum
+		}
+		nr := make(row, 0, len(r)+1)
+		nr = append(nr, r...)
+		nr = append(nr, v)
+		out[i] = nr
+	}
+	return out, nil
+}
+
+// sameKeys reports whether two rows agree on the given columns.
+func sameKeys(a, b row, keys []int) bool {
+	for _, ci := range keys {
+		if !valueEqual(a[ci], b[ci]) {
+			return false
+		}
+	}
+	return true
+}

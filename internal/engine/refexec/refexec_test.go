@@ -1,0 +1,195 @@
+package refexec
+
+import (
+	"math"
+	"testing"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+func intCol(name string, vals ...int64) storage.Column {
+	return storage.Column{Name: name, Kind: storage.Int64, Ints: vals}
+}
+
+func fltCol(name string, vals ...float64) storage.Column {
+	return storage.Column{Name: name, Kind: storage.Float64, Flts: vals}
+}
+
+func strCol(name string, vals ...string) storage.Column {
+	return storage.Column{Name: name, Kind: storage.String, Strs: vals}
+}
+
+func TestScanFilterNulls(t *testing.T) {
+	c := intCol("k", 1, 2, 3, 4)
+	c.Nulls = []bool{false, true, false, false}
+	tab := storage.MustNewTable("t", c, fltCol("v", 1.5, 2.5, 3.5, 4.5))
+
+	// k >= 2 with k NULL at row 1: NULL fails the predicate.
+	scan := plan.NewTableScan(tab, []int{0, 1},
+		expr.NewCmp(expr.Ge, expr.Col(0, "k", storage.Int64), expr.ConstInt(2)))
+	res, err := Run(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 2 {
+		t.Fatalf("rows = %d, want 2", res.N)
+	}
+	if got := res.Cols[0].Ints; got[0] != 3 || got[1] != 4 {
+		t.Fatalf("keys = %v, want [3 4]", got)
+	}
+}
+
+func TestFloatConstTruncatesAgainstIntColumn(t *testing.T) {
+	tab := storage.MustNewTable("t", intCol("k", 1, 2, 3))
+	// k = 2.9 coerces to k = 2 (truncation toward zero), matching the
+	// vectorized engine's constant coercion.
+	scan := plan.NewTableScan(tab, []int{0},
+		expr.NewCmp(expr.Eq, expr.Col(0, "k", storage.Int64), expr.ConstFloat(2.9)))
+	res, err := Run(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1 || res.Cols[0].Ints[0] != 2 {
+		t.Fatalf("got %d rows %v, want the single row k=2", res.N, res.Cols[0].Ints)
+	}
+}
+
+func TestJoinDuplicateKeysInsertionOrder(t *testing.T) {
+	build := storage.MustNewTable("b", intCol("k", 1, 2, 1), strCol("s", "x", "y", "z"))
+	probe := storage.MustNewTable("p", intCol("k", 1, 1))
+	j := plan.NewHashJoin(
+		plan.NewTableScan(build, []int{0, 1}),
+		plan.NewTableScan(probe, []int{0}),
+		[]int{0}, []int{0}, []int{1})
+	res, err := Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each probe row matches build rows 0 and 2 in insertion order.
+	want := []string{"x", "z", "x", "z"}
+	if res.N != 4 {
+		t.Fatalf("rows = %d, want 4", res.N)
+	}
+	for i, w := range want {
+		if res.Cols[1].Strs[i] != w {
+			t.Fatalf("payload = %v, want %v", res.Cols[1].Strs, want)
+		}
+	}
+}
+
+func TestGroupByAggregateEdgeCases(t *testing.T) {
+	tab := storage.MustNewTable("t",
+		intCol("g", 1, 1, 2),
+		fltCol("v", 2, 4, 10),
+		strCol("s", "beta", "alpha", "gamma"))
+	gb := plan.NewGroupBy(plan.NewTableScan(tab, []int{0, 1, 2}), []int{0},
+		[]plan.Agg{
+			{Fn: plan.AggAvg, Col: 1},
+			{Fn: plan.AggMin, Col: 2},
+			{Fn: plan.AggSum, Col: 2}, // SUM over a string column: 0
+			{Fn: plan.AggCount},
+		},
+		[]string{"avg", "smin", "ssum", "cnt"})
+	res, err := Run(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 2 {
+		t.Fatalf("groups = %d, want 2 (discovery order)", res.N)
+	}
+	if g := res.Cols[0].Ints; g[0] != 1 || g[1] != 2 {
+		t.Fatalf("group keys = %v, want [1 2]", g)
+	}
+	if a := res.Cols[1].Flts; a[0] != 3 || a[1] != 10 {
+		t.Fatalf("avg = %v, want [3 10]", a)
+	}
+	if m := res.Cols[2].Strs; m[0] != "alpha" || m[1] != "gamma" {
+		t.Fatalf("string min = %v", m)
+	}
+	if s := res.Cols[3].Flts; s[0] != 0 || s[1] != 0 {
+		t.Fatalf("sum over string = %v, want zeros", s)
+	}
+	if c := res.Cols[4].Ints; c[0] != 2 || c[1] != 1 {
+		t.Fatalf("count = %v, want [2 1]", c)
+	}
+}
+
+func TestGlobalAggregateOverEmptyInput(t *testing.T) {
+	tab := storage.MustNewTable("t", intCol("k"), fltCol("v"))
+	gb := plan.NewGroupBy(plan.NewTableScan(tab, []int{0, 1}), nil,
+		[]plan.Agg{{Fn: plan.AggCount}, {Fn: plan.AggMin, Col: 1}, {Fn: plan.AggAvg, Col: 1}},
+		[]string{"cnt", "min", "avg"})
+	res, err := Run(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1 {
+		t.Fatalf("rows = %d, want 1 (global aggregate emits one row)", res.N)
+	}
+	if res.Cols[0].Ints[0] != 0 {
+		t.Fatalf("count = %d, want 0", res.Cols[0].Ints[0])
+	}
+	// Empty MIN clamps +Inf to 0; empty AVG is 0.
+	if v := res.Cols[1].Flts[0]; v != 0 || math.Signbit(v) {
+		t.Fatalf("empty min = %v, want +0", v)
+	}
+	if v := res.Cols[2].Flts[0]; v != 0 {
+		t.Fatalf("empty avg = %v, want 0", v)
+	}
+}
+
+func TestSortStableWithShortDesc(t *testing.T) {
+	tab := storage.MustNewTable("t", intCol("a", 2, 1, 2, 1), intCol("b", 10, 20, 30, 40))
+	// desc covers only the first key; the second sorts ascending.
+	s := plan.NewSort(plan.NewTableScan(tab, []int{0, 1}), []int{0, 1}, []bool{true})
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := []int64{2, 2, 1, 1}
+	wantB := []int64{10, 30, 20, 40}
+	for i := range wantA {
+		if res.Cols[0].Ints[i] != wantA[i] || res.Cols[1].Ints[i] != wantB[i] {
+			t.Fatalf("sorted = %v/%v, want %v/%v", res.Cols[0].Ints, res.Cols[1].Ints, wantA, wantB)
+		}
+	}
+}
+
+func TestWindowRankAndLimitZero(t *testing.T) {
+	tab := storage.MustNewTable("t", intCol("p", 1, 1, 1, 2), intCol("o", 5, 5, 7, 9))
+	w := plan.NewWindow(plan.NewTableScan(tab, []int{0, 1}), plan.WinRank, []int{0}, []int{1}, 0, "r")
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRank := []int64{1, 1, 3, 1}
+	for i, want := range wantRank {
+		if res.Cols[2].Ints[i] != want {
+			t.Fatalf("rank = %v, want %v", res.Cols[2].Ints, wantRank)
+		}
+	}
+
+	lim, err := Run(plan.NewLimit(w, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.N != 0 {
+		t.Fatalf("limit 0 produced %d rows", lim.N)
+	}
+}
+
+func TestArithDivisionByZero(t *testing.T) {
+	tab := storage.MustNewTable("t", fltCol("a", 6, 3), fltCol("b", 2, 0))
+	m := plan.NewMap(plan.NewTableScan(tab, []int{0, 1}), []string{"q"},
+		[]expr.ValueExpr{expr.NewArith(expr.Div,
+			expr.Col(0, "a", storage.Float64), expr.Col(1, "b", storage.Float64))})
+	res, err := Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := res.Cols[2].Flts; q[0] != 3 || q[1] != 0 {
+		t.Fatalf("quotients = %v, want [3 0] (division by zero yields 0)", q)
+	}
+}

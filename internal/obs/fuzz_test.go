@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the oracle the histogram approximates: the ceil(p*n)-th
+// smallest recorded value.
+func exactQuantile(sorted []uint64, p float64) uint64 {
+	idx := int(math.Ceil(p * float64(len(sorted))))
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
+}
+
+// checkQuantileOctave asserts the documented accuracy contract: a quantile
+// is exact for zeros and otherwise within a factor of two of the true value
+// (power-of-two buckets resolve one octave).
+func checkQuantileOctave(t *testing.T, s *HistSnapshot, values []uint64) {
+	t.Helper()
+	sorted := append([]uint64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		q := s.Quantile(p)
+		exact := exactQuantile(sorted, p)
+		if exact == 0 {
+			if q != 0 {
+				t.Fatalf("p=%g: exact quantile is 0 but histogram reports %g", p, q)
+			}
+			continue
+		}
+		e := float64(exact)
+		if !(q > e/2 && q <= 2*e) {
+			t.Fatalf("p=%g: histogram quantile %g outside octave bound (%g, %g] of exact %d",
+				p, q, e/2, 2*e, exact)
+		}
+	}
+}
+
+// checkHistogramMerge records values whole and sharded, merges the shard
+// snapshots in two orders, and asserts both merges reproduce the whole
+// histogram and keep the quantile contract.
+func checkHistogramMerge(t *testing.T, values []uint64, shards int) {
+	t.Helper()
+	whole := NewHistogram("whole", "", 1)
+	hs := make([]*Histogram, shards)
+	for i := range hs {
+		hs[i] = NewHistogram("shard", "", 1)
+	}
+	for i, v := range values {
+		whole.Record(v)
+		hs[i%shards].Record(v)
+	}
+	want := whole.Snapshot()
+
+	var fwd, rev HistSnapshot // zero value: Merge must adopt the unit
+	for i := 0; i < shards; i++ {
+		fwd.Merge(hs[i].Snapshot())
+		rev.Merge(hs[shards-1-i].Snapshot())
+	}
+	// The raw accumulator is a wrapping uint64 and Sum is float64, so sums
+	// are only comparable when the true total is exactly representable.
+	sumExact := true
+	var total uint64
+	for _, v := range values {
+		var carry uint64
+		total, carry = bits.Add64(total, v, 0)
+		if carry != 0 {
+			sumExact = false
+			break
+		}
+	}
+	sumExact = sumExact && total < 1<<53
+
+	for _, got := range []*HistSnapshot{&fwd, &rev} {
+		if got.Unit != want.Unit || got.Count != want.Count || got.Counts != want.Counts {
+			t.Fatalf("merged snapshot diverges from whole: got count=%d unit=%g, want count=%d unit=%g",
+				got.Count, got.Unit, want.Count, want.Unit)
+		}
+		if sumExact && got.Sum != want.Sum {
+			t.Fatalf("merged sum %g differs from whole sum %g", got.Sum, want.Sum)
+		}
+	}
+	if len(values) > 0 {
+		checkQuantileOctave(t, &fwd, values)
+	} else if q := fwd.Quantile(0.5); q != 0 {
+		t.Fatalf("empty merged histogram quantile = %g, want 0", q)
+	}
+}
+
+// FuzzHistogramMerge drives shard/merge consistency from raw bytes: each
+// 8-byte word is one observation, and the shard count comes from the fuzzer.
+func FuzzHistogramMerge(f *testing.F) {
+	f.Add([]byte{}, uint64(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint64(3))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.MaxUint64), uint64(2))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 255, 255, 0, 0, 0, 0, 0, 0, 7}, uint64(5))
+	f.Fuzz(func(t *testing.T, data []byte, shardSeed uint64) {
+		if len(data) > 1<<16 {
+			return
+		}
+		var values []uint64
+		for len(data) >= 8 {
+			values = append(values, binary.LittleEndian.Uint64(data))
+			data = data[8:]
+		}
+		if len(data) > 0 { // leftover bytes become one small observation
+			var tail [8]byte
+			copy(tail[:], data)
+			values = append(values, binary.LittleEndian.Uint64(tail[:]))
+		}
+		checkHistogramMerge(t, values, 1+int(shardSeed%7))
+	})
+}
+
+// TestHistogramMergeAndQuantileProperty is the deterministic mode: seeded
+// mixed-magnitude workloads (zeros, small counts, huge durations) through
+// the same shard/merge/quantile checks.
+func TestHistogramMergeAndQuantileProperty(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		values := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				values = append(values, 0)
+			case 1:
+				values = append(values, uint64(rng.Intn(100)))
+			case 2:
+				values = append(values, uint64(rng.Int63n(1<<30)))
+			default:
+				values = append(values, uint64(rng.Int63())<<rng.Intn(4))
+			}
+		}
+		checkHistogramMerge(t, values, 1+rng.Intn(8))
+	}
+}

@@ -215,7 +215,7 @@ type LikeExpr struct {
 
 // String renders the expression.
 func (e *LikeExpr) String() string {
-	return e.Expr.String() + " LIKE '" + e.Pattern + "'"
+	return e.Expr.String() + " LIKE '" + strings.ReplaceAll(e.Pattern, "'", "''") + "'"
 }
 
 // CallExpr is an aggregate call: COUNT(*), SUM(x), MIN(x), MAX(x), AVG(x).

@@ -1,0 +1,74 @@
+package sql_test
+
+import (
+	"strings"
+	"testing"
+
+	"t3/internal/genplan"
+	"t3/internal/sql"
+)
+
+// FuzzSQL feeds arbitrary query text through the parser. Malformed input
+// must fail with an error, never a panic; input that parses must reach a
+// printed-form fixed point: Parse∘String is the identity on String output.
+func FuzzSQL(f *testing.F) {
+	f.Add("SELECT * FROM t0")
+	f.Add("SELECT DISTINCT a, b AS x FROM t0 WHERE a >= 3 AND b <> 0 ORDER BY a DESC LIMIT 7")
+	f.Add("SELECT t0.a, t1.b FROM t0, t1 WHERE t0.k = t1.k AND t0.a BETWEEN 1 AND 5")
+	f.Add("SELECT g, COUNT(*), SUM(v) FROM t0 GROUP BY g HAVING COUNT(*) > 2")
+	f.Add("SELECT s FROM t0 WHERE s LIKE 'al%a' OR s IN ('beta', 'gamma')")
+	f.Add("SELECT s FROM t0 WHERE s LIKE 'don''t%'")
+	f.Add("SELECT a FROM t0 JOIN t1 ON t0.k = t1.k WHERE a * -2.5 < 1.")
+	f.Add("SELECT")
+	f.Add("SELECT 'unterminated FROM t0")
+	f.Fuzz(func(t *testing.T, q string) {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			return
+		}
+		s1 := stmt.String()
+		stmt2, err := sql.Parse(s1)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput: %q\nprinted: %q", err, q, s1)
+		}
+		if s2 := stmt2.String(); s1 != s2 {
+			t.Fatalf("printed form not stable:\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+	})
+}
+
+// singleBlock reports whether generated SQL stays inside the parser's
+// subset: no derived tables, no window functions.
+func singleBlock(q string) bool {
+	return !strings.Contains(q, "(SELECT") && !strings.Contains(q, " OVER ")
+}
+
+// TestParseGeneratedSQL checks the parser accepts every single-block query
+// the generator unparses, and that the parsed form prints stably.
+func TestParseGeneratedSQL(t *testing.T) {
+	parsed := 0
+	for seed := int64(0); seed < 120; seed++ {
+		for sc := genplan.Scenario(0); sc < genplan.NumScenarios; sc++ {
+			c := genplan.Generate(seed, sc)
+			if c.SQL == "" || !singleBlock(c.SQL) {
+				continue
+			}
+			stmt, err := sql.Parse(c.SQL)
+			if err != nil {
+				t.Fatalf("seed=%d scenario=%s: generated SQL rejected: %v\n%s", seed, sc, err, c.SQL)
+			}
+			s1 := stmt.String()
+			stmt2, err := sql.Parse(s1)
+			if err != nil {
+				t.Fatalf("seed=%d scenario=%s: printed form rejected: %v\n%s", seed, sc, err, s1)
+			}
+			if s2 := stmt2.String(); s1 != s2 {
+				t.Fatalf("seed=%d scenario=%s: printed form unstable:\n%q\n%q", seed, sc, s1, s2)
+			}
+			parsed++
+		}
+	}
+	if parsed < 60 {
+		t.Fatalf("only %d generated queries hit the parser subset; generator drifted?", parsed)
+	}
+}

@@ -113,6 +113,11 @@ func (u *unparser) build(n *plan.Node) (*block, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if len(b.sel) > 0 {
+			// The block already carries an explicit select list (group-by or
+			// window output); extending its columns requires a derived table.
+			b, names = u.wrap(b, names, n.Left.Schema)
+		}
 		var out []string
 		if !n.MapReplaces() {
 			out = append(out, names...)
@@ -162,7 +167,7 @@ func (u *unparser) build(n *plan.Node) (*block, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if pb.grouped || len(pb.order) > 0 || pb.limit >= 0 {
+		if pb.grouped || len(pb.sel) > 0 || len(pb.order) > 0 || pb.limit >= 0 {
 			pb, pNames = u.wrap(pb, pNames, n.Right.Schema)
 		}
 		var bNames []string
@@ -197,7 +202,7 @@ func (u *unparser) build(n *plan.Node) (*block, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if b.grouped || len(b.order) > 0 || b.limit >= 0 {
+		if b.grouped || len(b.sel) > 0 || len(b.order) > 0 || b.limit >= 0 {
 			b, names = u.wrap(b, names, n.Left.Schema)
 		}
 		var out []string
@@ -229,7 +234,7 @@ func (u *unparser) build(n *plan.Node) (*block, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if b.grouped {
+		if b.grouped || len(b.sel) > 0 {
 			b, names = u.wrap(b, names, n.Left.Schema)
 		}
 		var over []string

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-baseline bench-predict bench-engine fuzz-smoke train compile experiments serve clean
+.PHONY: all build test vet bench bench-baseline bench-predict bench-engine bench-serve fuzz-smoke train compile experiments serve clean
 
 all: build vet test
 
@@ -33,6 +33,13 @@ bench-predict:
 bench-engine:
 	go test -run xxx -bench '^(BenchmarkHashJoin|BenchmarkGroupBy)$$' -benchmem -json ./internal/engine/exec/ > BENCH_engine.json
 	go test -run xxx -bench '^BenchmarkLabelCollect$$' -benchmem -json ./internal/workload/ >> BENCH_engine.json
+
+# Serving-tier benchmark matrix: boots t3serve and drives t3loadgen over
+# JSON, binary HTTP, and raw TCP, with and without the prediction cache and
+# request coalescing, into BENCH_serve.json. `make bench-serve DUR=10s CONC=16`
+# passes through to the script.
+bench-serve:
+	DUR=$(or $(DUR),5s) CONC=$(or $(CONC),8) scripts/bench_serve.sh
 
 # Short fuzzing pass over every native fuzz target, starting from the
 # checked-in corpora under testdata/fuzz/. Override the per-target budget

@@ -19,6 +19,11 @@
 // formatted tables for a JSON document containing the experiment list and
 // the metrics snapshot (the schema cmd/t3serve serves at /metrics.json),
 // so CI can diff runs.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the whole suite, for
+// chasing regressions in training or prediction hot paths:
+//
+//	t3bench -cpuprofile cpu.pprof table1 && go tool pprof cpu.pprof
 package main
 
 import (
@@ -77,8 +82,16 @@ func main() {
 	stats := flag.Bool("stats", false, "dump the observability registry to stderr on exit")
 	jsonOut := flag.Bool("json", false, "emit experiment list + metrics snapshot as JSON instead of tables")
 	logFormat := flag.String("log", "text", "log format: text|json")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	obs.SetupLogging(os.Stderr, *logFormat, false)
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		slog.Error("profiling", "err", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		names := make([]string, len(runners))
@@ -155,6 +168,7 @@ func main() {
 	if *stats {
 		fmt.Fprint(os.Stderr, obs.Default.DumpText())
 	}
+	stopProf() // flush profiles before any non-zero exit
 	if failed {
 		os.Exit(1)
 	}

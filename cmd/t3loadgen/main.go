@@ -1,0 +1,308 @@
+// Command t3loadgen drives load against a running t3serve and reports
+// throughput and latency quantiles, for benchmarking the serving tier.
+//
+// Usage:
+//
+//	t3loadgen [-addr localhost:8080] [-proto json|bin|tcp] [-concurrency 8]
+//	          [-duration 10s] [-open 0] [-cards true|est] [-distinct 0]
+//	          [-name label] [-out BENCH_serve.json]
+//
+// Protocols:
+//
+//	json   POST /predict with a planio JSON body (the baseline).
+//	bin    POST /predict.bin with a binary wire frame.
+//	tcp    the raw framed wire protocol; each worker owns one connection
+//	       (-addr must then point at t3serve's -tcp listener).
+//
+// The workload is the annotated TPC-H benchmark query set from
+// internal/workload, serialized once up front so the generator measures the
+// server, not itself. -distinct N cycles through only the first N plans
+// (N=1 maximizes prediction-cache hits; 0 = all plans).
+//
+// By default workers run closed-loop: each sends its next request as soon
+// as the previous response arrives. -open R paces request starts at R
+// requests/second spread across workers instead, modelling open-loop
+// arrivals (a worker that falls behind its schedule fires immediately,
+// so the achieved rate can sag below R when the server saturates).
+//
+// Results are printed as an indented JSON object; -out appends the same
+// object as one JSON line, so repeated runs accumulate a record set.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+	"t3/internal/obs"
+	"t3/internal/planio"
+	"t3/internal/wire"
+	"t3/internal/workload"
+)
+
+// result is the JSON record of one load-generation run.
+type result struct {
+	Name        string  `json:"name"`
+	Proto       string  `json:"proto"`
+	Addr        string  `json:"addr"`
+	Concurrency int     `json:"concurrency"`
+	OpenQPS     float64 `json:"open_qps,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	QPS         float64 `json:"qps"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	MeanUs      float64 `json:"mean_us"`
+}
+
+// workload pre-serialized per protocol.
+type payloads struct {
+	json  [][]byte // planio JSON bodies
+	frame [][]byte // wire frames (header + payload)
+}
+
+func buildPayloads(mode plan.CardMode, distinct int) (*payloads, error) {
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_loadgen", 0.01, 3))
+	qs := workload.TPCHBenchmarkQueries(in)
+	if distinct > 0 && distinct < len(qs) {
+		qs = qs[:distinct]
+	}
+	p := &payloads{}
+	for _, q := range qs {
+		if err := exec.AnnotateTrueCards(q.Root); err != nil {
+			return nil, err
+		}
+		j, err := planio.Marshal(q.Root)
+		if err != nil {
+			return nil, err
+		}
+		p.json = append(p.json, j)
+		p.frame = append(p.frame, wire.AppendFrame(nil, q.Root, mode))
+	}
+	return p, nil
+}
+
+// sender issues one request with payload index i and returns an error on
+// any transport or server failure.
+type sender interface {
+	send(i int) error
+	close()
+}
+
+// jsonSender posts planio JSON to /predict (or binary frames to
+// /predict.bin when bin is set) over a shared keep-alive HTTP client.
+type jsonSender struct {
+	url    string
+	client *http.Client
+	p      *payloads
+	bin    bool
+}
+
+func (s *jsonSender) send(i int) error {
+	var body []byte
+	if s.bin {
+		body = s.p.frame[i]
+	} else {
+		body = s.p.json[i]
+	}
+	resp, err := s.client.Post(s.url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	if s.bin {
+		if _, err := wire.ParseResponse(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *jsonSender) close() { s.client.CloseIdleConnections() }
+
+// tcpSender owns one wire-protocol connection; requests are serialized on
+// it (one in flight), which is what per-request latency measurement needs.
+type tcpSender struct {
+	conn net.Conn
+	p    *payloads
+	resp [wire.HeaderSize + 8]byte
+}
+
+func newTCPSender(addr string, p *payloads) (*tcpSender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpSender{conn: conn, p: p}, nil
+}
+
+func (s *tcpSender) send(i int) error {
+	if _, err := s.conn.Write(s.p.frame[i]); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(s.conn, s.resp[:]); err != nil {
+		return err
+	}
+	_, err := wire.ParseResponse(s.resp[:])
+	return err
+}
+
+func (s *tcpSender) close() { _ = s.conn.Close() }
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8080", "server address (host:port)")
+		proto       = flag.String("proto", "json", "protocol: json|bin|tcp")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers")
+		duration    = flag.Duration("duration", 10*time.Second, "measurement duration")
+		warmup      = flag.Duration("warmup", time.Second, "warm-up period excluded from stats")
+		openQPS     = flag.Float64("open", 0, "open-loop request rate in req/s (0 = closed loop)")
+		cards       = flag.String("cards", "true", "cardinality annotations: true|est")
+		distinct    = flag.Int("distinct", 0, "cycle only the first N distinct plans (0 = all)")
+		name        = flag.String("name", "", "label recorded with the result")
+		out         = flag.String("out", "", "append the result as one JSON line to this file")
+	)
+	flag.Parse()
+
+	mode := plan.TrueCards
+	if *cards == "est" {
+		mode = plan.EstCards
+	}
+	pl, err := buildPayloads(mode, *distinct)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "building workload:", err)
+		os.Exit(1)
+	}
+
+	makeSender := func() (sender, error) {
+		switch *proto {
+		case "json", "bin":
+			tr := &http.Transport{
+				MaxIdleConns:        *concurrency * 2,
+				MaxIdleConnsPerHost: *concurrency * 2,
+			}
+			path := "/predict"
+			if *proto == "bin" {
+				path = "/predict.bin"
+			}
+			return &jsonSender{
+				url:    "http://" + *addr + path + "?cards=" + *cards,
+				client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+				p:      pl,
+				bin:    *proto == "bin",
+			}, nil
+		case "tcp":
+			return newTCPSender(*addr, pl)
+		default:
+			return nil, fmt.Errorf("unknown -proto %q", *proto)
+		}
+	}
+
+	var (
+		requests atomic.Int64
+		errs     atomic.Int64
+		hist     = obs.NewHistogram("loadgen_latency_seconds", "request latency", obs.UnitNanoseconds)
+		wg       sync.WaitGroup
+	)
+	measureFrom := time.Now().Add(*warmup)
+	deadline := measureFrom.Add(*duration)
+	interval := time.Duration(0)
+	if *openQPS > 0 {
+		interval = time.Duration(float64(*concurrency) / *openQPS * float64(time.Second))
+	}
+
+	for w := 0; w < *concurrency; w++ {
+		s, err := makeSender()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connecting:", err)
+			os.Exit(1)
+		}
+		wg.Add(1)
+		go func(w int, s sender) {
+			defer wg.Done()
+			defer s.close()
+			i := w // stagger plan cycling across workers
+			next := time.Now()
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				if interval > 0 {
+					if now.Before(next) {
+						time.Sleep(next.Sub(now))
+					}
+					next = next.Add(interval)
+				}
+				start := time.Now()
+				err := s.send(i % len(pl.frame))
+				elapsed := time.Since(start)
+				if start.After(measureFrom) {
+					requests.Add(1)
+					if err != nil {
+						errs.Add(1)
+					} else {
+						hist.Observe(elapsed)
+					}
+				}
+				if err != nil && *proto == "tcp" {
+					// A torn connection cannot carry further requests.
+					return
+				}
+				i++
+			}
+		}(w, s)
+	}
+	wg.Wait()
+
+	snap := hist.Snapshot()
+	res := result{
+		Name:        *name,
+		Proto:       *proto,
+		Addr:        *addr,
+		Concurrency: *concurrency,
+		OpenQPS:     *openQPS,
+		DurationS:   duration.Seconds(),
+		Requests:    requests.Load(),
+		Errors:      errs.Load(),
+		QPS:         float64(requests.Load()) / duration.Seconds(),
+		P50Us:       snap.Quantile(0.50) * 1e6,
+		P99Us:       snap.Quantile(0.99) * 1e6,
+		MeanUs:      snap.Mean() * 1e6,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
+
+	if *out != "" {
+		line, _ := json.Marshal(res)
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opening -out:", err)
+			os.Exit(1)
+		}
+		_, _ = f.Write(append(line, '\n'))
+		_ = f.Close()
+	}
+	if res.Errors > 0 {
+		os.Exit(2)
+	}
+}

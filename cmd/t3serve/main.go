@@ -1,14 +1,21 @@
-// Command t3serve serves a trained T3 model over HTTP: prediction and
-// execution endpoints plus the full observability surface of internal/obs.
+// Command t3serve serves a trained T3 model over HTTP and raw TCP:
+// prediction and execution endpoints, a high-throughput binary wire
+// protocol with request coalescing and a fingerprint-keyed prediction
+// cache, plus the full observability surface of internal/obs.
 //
 // Usage:
 //
-//	t3serve [-addr :8080] [-model models/t3_default.json] [-workers 0] [-log text|json]
+//	t3serve [-addr :8080] [-tcp :8091] [-model models/t3_default.json]
+//	        [-cache 65536] [-coalesce-batch 64] [-coalesce-wait 20us]
+//	        [-workers 0] [-log text|json]
 //
 // Endpoints:
 //
 //	POST /predict            plan JSON in (see internal/planio), prediction out.
 //	                         ?cards=true|est selects cardinality annotations.
+//	POST /predict.bin        binary wire frame in (see internal/wire), wire
+//	                         response frame out. Served through the
+//	                         coalescing/caching core.
 //	POST /run                predict the plan and score the q-error into the
 //	                         drift histogram. ?actual_ns=N supplies the
 //	                         caller's measured execution time (the normal
@@ -16,6 +23,8 @@
 //	                         annotations, never data). Without it the plan is
 //	                         executed on the in-memory engine, which requires
 //	                         bound tables and fails for decoded plans.
+//	POST /reload             re-read the model file, atomically swap it in,
+//	                         and invalidate the prediction cache.
 //	GET  /metrics            Prometheus text exposition of every metric.
 //	GET  /metrics.json       the same registry as a JSON snapshot (the
 //	                         schema t3predict/t3bench -json also emit).
@@ -23,30 +32,40 @@
 //	GET  /debug/vars         expvar, including the metrics snapshot.
 //	GET  /debug/pprof/       net/http/pprof profiles.
 //
+// With -tcp the same binary wire protocol is served on a raw TCP listener:
+// any number of length-prefixed request frames per connection, one response
+// frame each, in order (pipelining encouraged — see cmd/t3loadgen).
+//
 // Example:
 //
-//	t3serve -model models/t3_default.json &
+//	t3serve -model models/t3_default.json -tcp :8091 &
 //	curl -s -X POST --data-binary @plan.json localhost:8080/predict
-//	curl -s localhost:8080/metrics | grep t3_predict_latency
+//	t3loadgen -proto tcp -addr localhost:8091 -duration 5s
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=5
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
+	"os/signal"
 	"strconv"
+	"sync"
+	"syscall"
 	"time"
 
 	"t3"
 	"t3/internal/obs"
 	"t3/internal/planio"
+	"t3/internal/serve"
 )
 
 // HTTP serving metrics, alongside the built-in T3 metrics on obs.Default.
@@ -62,11 +81,16 @@ var (
 // maxBody bounds request bodies (plans are small; 8 MiB is generous).
 const maxBody = 8 << 20
 
-// server carries the loaded model through the handlers.
+// server carries the serving core through the handlers. The model is read
+// through the core so /reload swaps are visible everywhere at once.
 type server struct {
-	model *t3.Model
-	log   *slog.Logger
+	core      *serve.Server
+	modelPath string
+	reloadMu  sync.Mutex
+	log       *slog.Logger
 }
+
+func (s *server) model() *t3.Model { return s.core.Model() }
 
 // predictResponse is the JSON answer of /predict and the prediction half
 // of /run.
@@ -92,9 +116,11 @@ type runResponse struct {
 	QError   float64 `json:"qerror"`
 }
 
-// readPlan decodes the request body as a plan and picks the card mode.
-func readPlan(r *http.Request) (*t3.Plan, t3.CardMode, error) {
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+// readPlan decodes the request body as a plan and picks the card mode. The
+// body is hard-capped at maxBody via http.MaxBytesReader, which also closes
+// the connection of an oversized sender.
+func readPlan(w http.ResponseWriter, r *http.Request) (*t3.Plan, t3.CardMode, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
 		return nil, t3.TrueCards, fmt.Errorf("reading body: %w", err)
 	}
@@ -114,13 +140,14 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a plan JSON")
 		return
 	}
-	root, mode, err := readPlan(r)
+	root, mode, err := readPlan(w, r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	total, per := s.model.PredictPlan(root, mode)
-	writeJSON(w, predictResp(s.model, total, per))
+	m := s.model()
+	total, per := m.PredictPlan(root, mode)
+	writeJSON(w, predictResp(m, total, per))
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -128,11 +155,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a plan JSON")
 		return
 	}
-	root, mode, err := readPlan(r)
+	root, mode, err := readPlan(w, r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	m := s.model()
 	var predicted, actual time.Duration
 	var q float64
 	if v := r.URL.Query().Get("actual_ns"); v != "" {
@@ -144,20 +172,39 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		actual = time.Duration(ns)
-		predicted, _ = s.model.PredictPlan(root, mode)
+		predicted, _ = m.PredictPlan(root, mode)
 		q = t3.RecordObserved(predicted, actual)
-	} else if predicted, actual, q, err = s.model.PredictAndRun(root, mode); err != nil {
+	} else if predicted, actual, q, err = m.PredictAndRun(root, mode); err != nil {
 		httpError(w, http.StatusUnprocessableEntity,
 			err.Error()+" (plans decoded from JSON carry no data; pass ?actual_ns=N with the measured time instead)")
 		return
 	}
-	_, per := s.model.PredictPlan(root, mode)
+	_, per := m.PredictPlan(root, mode)
 	writeJSON(w, runResponse{
-		predictResponse: predictResp(s.model, predicted, per),
+		predictResponse: predictResp(m, predicted, per),
 		ActualNs:        actual.Nanoseconds(),
 		Actual:          actual.String(),
 		QError:          q,
 	})
+}
+
+// handleReload re-reads the model file and atomically swaps it into the
+// serving core, invalidating every cached prediction.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST to reload")
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	model, err := t3.Load(s.modelPath)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("reloading %s: %v", s.modelPath, err))
+		return
+	}
+	s.core.SetModel(model)
+	s.log.Info("model reloaded", "path", s.modelPath, "tier", model.Tier())
+	writeJSON(w, map[string]string{"status": "reloaded", "model": s.modelPath, "tier": model.Tier()})
 }
 
 func predictResp(m *t3.Model, total time.Duration, per []t3.PipelinePrediction) predictResponse {
@@ -216,11 +263,15 @@ func instrument(log *slog.Logger, name string, h http.HandlerFunc) http.HandlerF
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		modelPath = flag.String("model", "models/t3_default.json", "trained model (JSON)")
-		workers   = flag.Int("workers", 0, "parallel workers for batched prediction (0 = GOMAXPROCS)")
-		logFormat = flag.String("log", "text", "log format: text|json")
-		verbose   = flag.Bool("v", false, "debug logging (per-request access logs)")
+		addr          = flag.String("addr", ":8080", "HTTP listen address")
+		tcpAddr       = flag.String("tcp", "", "raw TCP wire-protocol listen address (empty = disabled)")
+		modelPath     = flag.String("model", "models/t3_default.json", "trained model (JSON)")
+		workers       = flag.Int("workers", 0, "parallel workers for batched prediction (0 = GOMAXPROCS)")
+		cacheEntries  = flag.Int("cache", serve.DefaultCacheEntries, "prediction cache entries (0 disables)")
+		coalesceBatch = flag.Int("coalesce-batch", 64, "max requests per coalesced dispatch")
+		coalesceWait  = flag.Duration("coalesce-wait", 20*time.Microsecond, "max coalescing window wait (0 disables coalescing)")
+		logFormat     = flag.String("log", "text", "log format: text|json")
+		verbose       = flag.Bool("v", false, "debug logging (per-request access logs)")
 	)
 	flag.Parse()
 	logger := obs.SetupLogging(os.Stderr, *logFormat, *verbose)
@@ -231,7 +282,18 @@ func main() {
 		os.Exit(1)
 	}
 	model.SetWorkers(*workers)
-	s := &server{model: model, log: logger}
+
+	cfg := serve.Config{MaxBatch: *coalesceBatch, MaxWait: *coalesceWait}
+	if *cacheEntries <= 0 {
+		cfg.CacheEntries = -1
+	} else {
+		cfg.CacheEntries = *cacheEntries
+	}
+	if *coalesceWait == 0 {
+		cfg.NoCoalesce = true
+	}
+	core := serve.New(model, cfg)
+	s := &server{core: core, modelPath: *modelPath, log: logger}
 
 	// The metrics snapshot doubles as an expvar, so stock expvar tooling
 	// (and /debug/vars) sees the same numbers as /metrics.
@@ -240,17 +302,68 @@ func main() {
 	// Register on the default mux, which net/http/pprof and expvar already
 	// populated with /debug/pprof/* and /debug/vars.
 	http.HandleFunc("/predict", instrument(logger, "predict", s.handlePredict))
+	http.HandleFunc("/predict.bin", core.PredictBinHandler())
 	http.HandleFunc("/run", instrument(logger, "run", s.handleRun))
+	http.HandleFunc("/reload", instrument(logger, "reload", s.handleReload))
 	http.HandleFunc("/metrics", instrument(logger, "metrics", handleMetrics))
 	http.HandleFunc("/metrics.json", instrument(logger, "metrics.json", handleMetricsJSON))
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = io.WriteString(w, "ok\n")
 	})
 
-	logger.Info("t3serve listening", "addr", *addr, "model", *modelPath, "tier", model.Tier())
-	srv := &http.Server{Addr: *addr, ReadHeaderTimeout: 10 * time.Second}
-	if err := srv.ListenAndServe(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
+	}
+
+	errc := make(chan error, 2)
+	var tcpLn net.Listener
+	if *tcpAddr != "" {
+		tcpLn, err = net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			logger.Error("tcp listen", "addr", *tcpAddr, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("t3serve wire listener", "addr", tcpLn.Addr().String())
+		go func() {
+			if err := core.ServeTCP(tcpLn); err != nil {
+				errc <- fmt.Errorf("tcp server: %w", err)
+			}
+		}()
+	}
+
+	logger.Info("t3serve listening", "addr", *addr, "model", *modelPath, "tier", model.Tier(),
+		"cache", cfg.CacheEntries, "coalesce_batch", cfg.MaxBatch, "coalesce_wait", cfg.MaxWait)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- fmt.Errorf("http server: %w", err)
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		logger.Info("shutting down", "reason", "signal")
+	case err := <-errc:
 		logger.Error("server stopped", "err", err)
 		os.Exit(1)
 	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish.
+	if tcpLn != nil {
+		_ = tcpLn.Close()
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Error("shutdown", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("bye")
 }

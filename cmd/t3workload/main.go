@@ -12,6 +12,9 @@
 //
 //	t3workload [-instance tpch|tpcds|imdb] [-scale 0.05] [-pergroup 2] [-seed 7] [-group SeJA]
 //	t3workload -collect [-workers 4] [-runs 3] [-instance tpch] [-scale 0.05]
+//
+// -cpuprofile/-memprofile write pprof profiles of the run (the collection
+// path is the interesting one: it exercises the parallel runner end to end).
 package main
 
 import (
@@ -39,8 +42,16 @@ func main() {
 		collect  = flag.Bool("collect", false, "execute the workload and collect (plan, pipeline-time) labels")
 		workers  = flag.Int("workers", 0, "collection workers (0 = GOMAXPROCS)")
 		runs     = flag.Int("runs", 1, "timing runs per query during collection")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	var spec workload.InstanceSpec
 	switch *instance {

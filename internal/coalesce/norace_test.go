@@ -1,0 +1,5 @@
+//go:build !race
+
+package coalesce
+
+const raceEnabled = false

@@ -90,6 +90,43 @@ var (
 	CollectThroughput = Default.NewGauge("t3_collect_queries_per_second",
 		"Throughput of the last label-collection run.")
 
+	// Serving tier (internal/serve, internal/predcache, internal/coalesce):
+	// the binary wire endpoints, the fingerprint-keyed prediction cache, and
+	// the request coalescer in front of batched prediction.
+
+	// ServeBinRequests counts binary-protocol predict requests
+	// (/predict.bin and the raw TCP listener).
+	ServeBinRequests = Default.NewCounter("t3_serve_bin_requests_total",
+		"Binary-protocol predict requests served.")
+	// ServeBinErrors counts binary-protocol requests answered with an error
+	// frame.
+	ServeBinErrors = Default.NewCounter("t3_serve_bin_errors_total",
+		"Binary-protocol predict requests answered with an error.")
+	// ServeBinLatency is the server-side handling latency of binary
+	// predict requests (decode + cache/coalesce + respond).
+	ServeBinLatency = Default.NewHistogram("t3_serve_bin_request_seconds",
+		"Server-side binary predict request latency.", UnitNanoseconds)
+	// ServeCacheHits counts prediction-cache hits.
+	ServeCacheHits = Default.NewCounter("t3_serve_cache_hits_total",
+		"Prediction-cache hits.")
+	// ServeCacheMisses counts prediction-cache misses.
+	ServeCacheMisses = Default.NewCounter("t3_serve_cache_misses_total",
+		"Prediction-cache misses.")
+	// ServeCacheEvictions counts LRU evictions from the prediction cache.
+	ServeCacheEvictions = Default.NewCounter("t3_serve_cache_evictions_total",
+		"Prediction-cache LRU evictions.")
+	// ServeCacheInvalidations counts whole-cache invalidations (model swaps).
+	ServeCacheInvalidations = Default.NewCounter("t3_serve_cache_invalidations_total",
+		"Prediction-cache invalidations (model swaps).")
+	// ServeCoalesceBatches counts coalesced dispatches into batched
+	// prediction.
+	ServeCoalesceBatches = Default.NewCounter("t3_serve_coalesce_batches_total",
+		"Coalesced prediction dispatches.")
+	// ServeCoalesceBatchSize is the distribution of coalesced batch sizes
+	// (requests per dispatch); mass above 1 is amortization won.
+	ServeCoalesceBatchSize = Default.NewHistogram("t3_serve_coalesce_batch_size",
+		"Requests per coalesced prediction dispatch.", UnitCount)
+
 	// Pipeline execution (internal/engine/exec), the ground-truth side of
 	// drift accounting.
 

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires the conventional -cpuprofile/-memprofile flags of the
+// T3 commands: it begins CPU profiling to cpuPath (when non-empty) and
+// returns a stop function that finalizes the CPU profile and writes a heap
+// profile to memPath (when non-empty). The stop function must run before
+// the process exits; it is safe to call when both paths are empty.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "creating mem profile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "writing mem profile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

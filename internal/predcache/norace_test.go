@@ -1,0 +1,5 @@
+//go:build !race
+
+package predcache
+
+const raceEnabled = false

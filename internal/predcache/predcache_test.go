@@ -1,0 +1,210 @@
+package predcache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+	"t3/internal/wire"
+	"t3/internal/workload"
+)
+
+func key(a, b uint64) Key { return Key{Struct: a, Cards: b} }
+
+func TestGetPutRoundtrip(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get(key(1, 2)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key(1, 2), 42*time.Microsecond)
+	v, ok := c.Get(key(1, 2))
+	if !ok || v != 42*time.Microsecond {
+		t.Fatalf("got (%v, %v), want (42µs, true)", v, ok)
+	}
+	// Overwrite updates in place.
+	c.Put(key(1, 2), 7*time.Microsecond)
+	if v, _ := c.Get(key(1, 2)); v != 7*time.Microsecond {
+		t.Fatalf("overwrite kept %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestPlanFingerprintKeys exercises the cache with real plan fingerprints:
+// the same plan hits, and plans differing only in cardinality annotations
+// do not collide.
+func TestPlanFingerprintKeys(t *testing.T) {
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_pc", 0.01, 3))
+	root := workload.TPCHBenchmarkQueries(in)[2].Root
+	if err := exec.AnnotateTrueCards(root); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(128)
+	k1 := Key(wire.PlanKey(root, plan.TrueCards))
+	c.Put(k1, 100*time.Microsecond)
+	if _, ok := c.Get(Key(wire.PlanKey(root, plan.TrueCards))); !ok {
+		t.Fatal("identical plan fingerprint missed")
+	}
+
+	// Same structure, different cardinality annotation: distinct entry.
+	root.OutCard.True *= 3
+	k2 := Key(wire.PlanKey(root, plan.TrueCards))
+	if k2 == k1 {
+		t.Fatal("cardinality change produced an identical key")
+	}
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("different annotations hit the old entry")
+	}
+	c.Put(k2, 300*time.Microsecond)
+	v1, _ := c.Get(k1)
+	v2, _ := c.Get(k2)
+	if v1 != 100*time.Microsecond || v2 != 300*time.Microsecond {
+		t.Fatalf("colliding values: %v, %v", v1, v2)
+	}
+
+	// Distinct card modes are distinct entries too.
+	k3 := Key(wire.PlanKey(root, plan.EstCards))
+	if k3 == k2 {
+		t.Fatal("card mode not part of the key")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(numShards) // one slot per shard
+	perShard := 1
+	// Fill one specific shard beyond capacity and check the oldest leaves.
+	var keys []Key
+	target := c.shardOf(key(0, 0))
+	for i := uint64(0); len(keys) < perShard+2; i++ {
+		k := key(i, i*31)
+		if c.shardOf(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 1)
+	c.Put(keys[1], 2) // evicts keys[0]
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if v, ok := c.Get(keys[1]); !ok || v != 2 {
+		t.Fatal("most recent entry lost")
+	}
+	// Recency: touch keys[1], insert keys[2]; keys[1] must survive if there
+	// were two slots — with one slot it is evicted; just assert the new
+	// entry is present and the cache stays consistent.
+	c.Put(keys[2], 3)
+	if v, ok := c.Get(keys[2]); !ok || v != 3 {
+		t.Fatal("newest entry lost after eviction")
+	}
+}
+
+func TestRecencyOrder(t *testing.T) {
+	c := New(numShards * 2) // two slots per shard
+	target := c.shardOf(key(0, 0))
+	var keys []Key
+	for i := uint64(0); len(keys) < 3; i++ {
+		k := key(i, i*31)
+		if c.shardOf(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 1)
+	c.Put(keys[1], 2)
+	c.Get(keys[0])    // keys[0] now MRU; keys[1] is LRU
+	c.Put(keys[2], 3) // evicts keys[1]
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry survived")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestInvalidateDropsEverything(t *testing.T) {
+	c := New(256)
+	for i := uint64(0); i < 100; i++ {
+		c.Put(key(i, i), time.Duration(i))
+	}
+	c.Invalidate()
+	if n := c.Len(); n != 0 {
+		t.Fatalf("%d live entries after Invalidate", n)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if _, ok := c.Get(key(i, i)); ok {
+			t.Fatalf("stale entry %d served after Invalidate", i)
+		}
+	}
+	// New generation entries work.
+	c.Put(key(7, 7), 70)
+	if v, ok := c.Get(key(7, 7)); !ok || v != 70 {
+		t.Fatal("cache dead after Invalidate")
+	}
+}
+
+// TestCacheHitPathIsAllocationFree is the serving-tier zero-alloc guard:
+// a steady-state hit (lookup + recency bump) must not allocate.
+func TestCacheHitPathIsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	c := New(1024)
+	k1, k2 := key(1, 2), key(3, 4)
+	c.Put(k1, 10)
+	c.Put(k2, 20)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Alternate so the recency splice actually runs.
+		c.Get(k1)
+		c.Get(k2)
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSteadyStateChurnIsNearlyAllocationFree guards the miss/evict/put
+// cycle at capacity: slot and map storage are reused, not reallocated.
+func TestSteadyStateChurnIsNearlyAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	c := New(64)
+	// Saturate.
+	for i := uint64(0); i < 1024; i++ {
+		c.Put(key(i, i^0xbeef), time.Duration(i))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k := key(77, 88)
+		c.Get(k)
+		c.Put(k, 5)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("churn allocates %.2f allocs/op, want ~0", allocs)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 5000; i++ {
+				k := key(i%300, g<<32|i%97)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("negative cached value")
+					return
+				}
+				c.Put(k, time.Duration(i))
+				if i%1000 == 0 && g == 0 {
+					c.Invalidate()
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package predcache
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// guards skip under it because instrumentation itself allocates.
+const raceEnabled = true

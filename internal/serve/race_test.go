@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is on; allocation-count
+// guards are skipped under -race because its instrumentation allocates.
+const raceEnabled = true

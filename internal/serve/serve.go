@@ -1,0 +1,273 @@
+// Package serve is the high-throughput serving core behind cmd/t3serve:
+// the binary wire endpoints (/predict.bin over HTTP and a raw TCP
+// listener), the fingerprint-keyed prediction cache, request coalescing
+// into batched prediction, and atomic model hot-swapping.
+//
+// The request path, in order:
+//
+//  1. Decode the wire frame into a pooled per-connection scratch
+//     (wire.Decoder arena — no steady-state allocation).
+//  2. Fingerprint the plan (wire.PlanKey) and probe the prediction cache;
+//     a hit answers immediately without touching the model.
+//  3. On a miss, hand the plan to the card-mode's coalescer, which gathers
+//     concurrent misses into one Model.PredictBatchInto call, then insert
+//     the result into the cache.
+//
+// Model swaps (SetModel) are an atomic pointer store plus one cache
+// generation bump: in-flight requests finish against whichever model their
+// dispatch loaded, and no request ever observes a stale cached prediction
+// from the previous model.
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"t3"
+	"t3/internal/coalesce"
+	"t3/internal/engine/plan"
+	"t3/internal/obs"
+	"t3/internal/predcache"
+	"t3/internal/wire"
+)
+
+// Config tunes the serving core. The zero value enables the cache and the
+// coalescer with defaults.
+type Config struct {
+	// MaxBatch caps requests per coalesced dispatch (0 = 64).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a coalescing window
+	// waits for company (0 = 20µs).
+	MaxWait time.Duration
+	// CacheEntries bounds the prediction cache (0 = 65536). Negative
+	// disables caching.
+	CacheEntries int
+	// NoCoalesce disables request coalescing: every miss dispatches its
+	// own single-plan prediction (for A/B benchmarking).
+	NoCoalesce bool
+}
+
+// DefaultCacheEntries is the default prediction-cache bound. At 40 bytes a
+// slot this is ~2.6 MiB — small against the model itself.
+const DefaultCacheEntries = 1 << 16
+
+// Server is the serving core. Safe for concurrent use.
+type Server struct {
+	model atomic.Pointer[t3.Model]
+	cache *predcache.Cache // nil when disabled
+	// One coalescer per card mode: a batch dispatches a single
+	// PredictBatchInto call, which takes the mode once.
+	batchers [2]*coalesce.Batcher
+	conns    sync.Pool // *connScratch
+	cfg      Config
+}
+
+// connScratch is the per-connection reusable state of the binary request
+// path: frame read buffer, plan-decode arena, response write buffer.
+type connScratch struct {
+	hdr  [wire.HeaderSize]byte
+	body []byte
+	resp []byte
+	dec  wire.Decoder
+}
+
+// New builds a serving core around the given model.
+func New(model *t3.Model, cfg Config) *Server {
+	s := &Server{cfg: cfg}
+	s.model.Store(model)
+	if cfg.CacheEntries >= 0 {
+		n := cfg.CacheEntries
+		if n == 0 {
+			n = DefaultCacheEntries
+		}
+		s.cache = predcache.New(n)
+	}
+	for mode := range s.batchers {
+		m := plan.CardMode(mode)
+		s.batchers[mode] = coalesce.New(func(roots []*plan.Node, out []time.Duration) {
+			s.model.Load().PredictBatchInto(roots, m, out)
+		}, cfg.MaxBatch, cfg.MaxWait)
+	}
+	return s
+}
+
+// Model returns the currently served model.
+func (s *Server) Model() *t3.Model { return s.model.Load() }
+
+// SetModel atomically swaps the served model and invalidates every cached
+// prediction. In-flight dispatches complete on the model they loaded.
+func (s *Server) SetModel(m *t3.Model) {
+	s.model.Store(m)
+	if s.cache != nil {
+		s.cache.Invalidate()
+	}
+}
+
+// CacheLen reports live cache entries (0 when caching is disabled).
+func (s *Server) CacheLen() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Len()
+}
+
+// getConn hands out a pooled connection scratch.
+func (s *Server) getConn() *connScratch {
+	if c, ok := s.conns.Get().(*connScratch); ok {
+		return c
+	}
+	return &connScratch{}
+}
+
+// predictPayload serves one binary plan payload: decode, cache probe,
+// coalesced predict, cache fill. It returns the predicted nanoseconds.
+func (s *Server) predictPayload(c *connScratch, payload []byte, mode plan.CardMode) (int64, error) {
+	root, err := c.dec.Decode(payload)
+	if err != nil {
+		return 0, err
+	}
+	var key predcache.Key
+	if s.cache != nil {
+		key = predcache.Key(wire.PlanKey(root, mode))
+		if d, ok := s.cache.Get(key); ok {
+			return d.Nanoseconds(), nil
+		}
+	}
+	var d time.Duration
+	if s.cfg.NoCoalesce {
+		d, _ = s.Model().PredictPlan(root, mode)
+	} else {
+		d = s.batchers[mode].Predict(root)
+	}
+	if s.cache != nil {
+		s.cache.Put(key, d)
+	}
+	return d.Nanoseconds(), nil
+}
+
+// PredictBinHandler returns the HTTP handler of POST /predict.bin: the
+// request body is one wire request frame, the response body one wire
+// response frame.
+func (s *Server) PredictBinHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		obs.ServeBinRequests.Inc()
+		if r.Method != http.MethodPost {
+			obs.ServeBinErrors.Inc()
+			http.Error(w, "POST a wire frame", http.StatusMethodNotAllowed)
+			return
+		}
+		c := s.getConn()
+		defer s.conns.Put(c)
+		ns, status, err := s.handleFrame(c, r.Body)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		c.resp = c.resp[:0]
+		if err != nil {
+			obs.ServeBinErrors.Inc()
+			w.WriteHeader(http.StatusBadRequest)
+			c.resp = wire.AppendErrorResponse(c.resp, status, err.Error())
+		} else {
+			c.resp = wire.AppendResponse(c.resp, ns)
+		}
+		_, _ = w.Write(c.resp)
+		obs.ServeBinLatency.Since(start)
+	}
+}
+
+// handleFrame reads one request frame from rd and serves it.
+func (s *Server) handleFrame(c *connScratch, rd io.Reader) (int64, byte, error) {
+	if _, err := io.ReadFull(rd, c.hdr[:]); err != nil {
+		return 0, wire.StatusBadRequest, fmt.Errorf("reading frame header: %w", err)
+	}
+	mode, n, err := wire.ParseHeader(c.hdr[:])
+	if err != nil {
+		return 0, wire.StatusBadRequest, err
+	}
+	if cap(c.body) < n {
+		c.body = make([]byte, n)
+	}
+	c.body = c.body[:n]
+	if _, err := io.ReadFull(rd, c.body); err != nil {
+		return 0, wire.StatusBadRequest, fmt.Errorf("reading frame payload: %w", err)
+	}
+	ns, err := s.predictPayload(c, c.body, mode)
+	if err != nil {
+		return 0, wire.StatusBadRequest, err
+	}
+	return ns, wire.StatusOK, nil
+}
+
+// ServeTCP accepts connections on l and speaks the framed wire protocol on
+// each: any number of request frames per connection, one response frame
+// per request, in order. It returns when the listener is closed.
+func (s *Server) ServeTCP(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one connection's request loop over pooled scratch.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	c := s.getConn()
+	defer s.conns.Put(c)
+	rd := bufio.NewReaderSize(conn, 64<<10)
+	wr := bufio.NewWriterSize(conn, 32<<10)
+	for {
+		if _, err := io.ReadFull(rd, c.hdr[:]); err != nil {
+			return // EOF or torn connection: drop it
+		}
+		start := time.Now()
+		obs.ServeBinRequests.Inc()
+		mode, n, err := wire.ParseHeader(c.hdr[:])
+		if err != nil {
+			// Framing is broken; answer once and hang up.
+			obs.ServeBinErrors.Inc()
+			c.resp = wire.AppendErrorResponse(c.resp[:0], wire.StatusBadRequest, err.Error())
+			_, _ = wr.Write(c.resp)
+			_ = wr.Flush()
+			return
+		}
+		if cap(c.body) < n {
+			c.body = make([]byte, n)
+		}
+		c.body = c.body[:n]
+		if _, err := io.ReadFull(rd, c.body); err != nil {
+			return
+		}
+		c.resp = c.resp[:0]
+		if ns, perr := s.predictPayload(c, c.body, mode); perr != nil {
+			// A malformed plan poisons only this request; the frame
+			// boundary is intact, so the connection survives.
+			obs.ServeBinErrors.Inc()
+			c.resp = wire.AppendErrorResponse(c.resp, wire.StatusBadRequest, perr.Error())
+		} else {
+			c.resp = wire.AppendResponse(c.resp, ns)
+		}
+		if _, err := wr.Write(c.resp); err != nil {
+			return
+		}
+		// Flush only when no further request is already buffered, so
+		// pipelined clients batch response writes too.
+		if rd.Buffered() < wire.HeaderSize {
+			if err := wr.Flush(); err != nil {
+				return
+			}
+		}
+		obs.ServeBinLatency.Since(start)
+	}
+}

@@ -28,10 +28,11 @@ bench-predict:
 	go test -run xxx -bench=Predict -benchtime=100x -benchmem -json . > BENCH_predict.json
 
 # Engine-kernel baseline: hash-join and group-by kernels (open-addressing vs
-# the map baseline on identical inputs) plus label-collection throughput by
-# worker count, as machine-readable JSON.
+# the map baseline on identical inputs), morsel-parallel single-pipeline
+# scaling, and label-collection throughput by worker count, as
+# machine-readable JSON.
 bench-engine:
-	go test -run xxx -bench '^(BenchmarkHashJoin|BenchmarkGroupBy)$$' -benchmem -json ./internal/engine/exec/ > BENCH_engine.json
+	go test -run xxx -bench '^(BenchmarkHashJoin|BenchmarkGroupBy|BenchmarkParallelPipeline)$$' -benchmem -json ./internal/engine/exec/ > BENCH_engine.json
 	go test -run xxx -bench '^BenchmarkLabelCollect$$' -benchmem -json ./internal/workload/ >> BENCH_engine.json
 
 # Serving-tier benchmark matrix: boots t3serve and drives t3loadgen over

@@ -4,14 +4,17 @@
 // systems.
 //
 // With -collect it instead executes the workload through the parallel
-// label-collection runner, fanning queries out across -workers workers, and
-// prints throughput plus the label set's stable fingerprint (which is
-// identical for every worker count).
+// label-collection runner, fanning queries out across -workers workers —
+// which also sets the morsel-driven parallelism degree *inside* each query's
+// pipelines (override with -intra, tune the split granularity with -morsel) —
+// and prints throughput, the fraction of pipelines that ran morsel-parallel,
+// and the label set's stable fingerprint (which is identical for every
+// worker count, inter- or intra-query).
 //
 // Usage:
 //
 //	t3workload [-instance tpch|tpcds|imdb] [-scale 0.05] [-pergroup 2] [-seed 7] [-group SeJA]
-//	t3workload -collect [-workers 4] [-runs 3] [-instance tpch] [-scale 0.05]
+//	t3workload -collect [-workers 4] [-intra 4] [-morsel 4096] [-runs 3] [-instance tpch] [-scale 0.05]
 //
 // -cpuprofile/-memprofile write pprof profiles of the run (the collection
 // path is the interesting one: it exercises the parallel runner end to end).
@@ -40,7 +43,9 @@ func main() {
 		group    = flag.String("group", "", "only this structure group (e.g. SeJA)")
 		fixed    = flag.Bool("fixed", false, "also print the fixed benchmark queries")
 		collect  = flag.Bool("collect", false, "execute the workload and collect (plan, pipeline-time) labels")
-		workers  = flag.Int("workers", 0, "collection workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "collection workers, inter- and intra-query (0 = GOMAXPROCS)")
+		intra    = flag.Int("intra", 0, "intra-query morsel parallelism (0 = same as -workers, -1 = off)")
+		morsel   = flag.Int("morsel", 0, "rows per morsel partition (0 = engine default)")
 		runs     = flag.Int("runs", 1, "timing runs per query during collection")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -68,20 +73,32 @@ func main() {
 
 	if *collect {
 		ls, err := workload.CollectLabels(in, workload.CollectConfig{
-			Workers:  *workers,
-			Runs:     *runs,
-			PerGroup: *perGroup,
-			Seed:     *seed,
+			Workers:      *workers,
+			IntraWorkers: *intra,
+			MorselRows:   *morsel,
+			Runs:         *runs,
+			PerGroup:     *perGroup,
+			Seed:         *seed,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		var pipelines int
+		var pipelines, parallelPipes, maxPar int
 		for _, l := range ls.Labels {
 			pipelines += len(l.Pipelines)
+			for _, deg := range l.Parallelism {
+				if deg > 1 {
+					parallelPipes++
+				}
+				if deg > maxPar {
+					maxPar = deg
+				}
+			}
 		}
 		fmt.Printf("collected %d queries (%d pipelines, %d timing runs each) on %s\n",
 			len(ls.Labels), pipelines, *runs, ls.Instance)
+		fmt.Printf("intra-query: %d/%d pipelines ran morsel-parallel (max degree %d)\n",
+			parallelPipes, pipelines, maxPar)
 		fmt.Printf("workers=%d elapsed=%s throughput=%.1f queries/s\n",
 			ls.Workers, ls.Elapsed.Round(time.Millisecond), obs.CollectThroughput.Value())
 		fmt.Printf("stable fingerprint: %016x\n", ls.Fingerprint())

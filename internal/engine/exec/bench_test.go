@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"testing"
 
 	"t3/internal/engine/expr"
@@ -185,5 +186,38 @@ func BenchmarkSort(b *testing.B) {
 		if _, err := Run(srt, false); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelPipeline measures morsel-driven intra-query parallelism on
+// a single large join + group-by query at several worker counts. workers=1
+// is the serial engine; higher counts split the probe pipeline into morsels
+// over a shared pool. Reuse is set, as in label collection, so the loop
+// measures steady-state execution, not allocation.
+func BenchmarkParallelPipeline(b *testing.B) {
+	build := mkTable("build", 50000, 7)
+	probe := mkTable("probe", 400000, 8)
+	mk := func() *plan.Node {
+		sb := plan.NewTableScan(build, []int{1, 2})
+		sp := plan.NewTableScan(probe, []int{1, 2})
+		join := plan.NewHashJoin(sb, sp, []int{0}, []int{0}, []int{1})
+		return plan.NewGroupBy(join, []int{0},
+			[]plan.Agg{{Fn: plan.AggCount}, {Fn: plan.AggSum, Col: 1}}, []string{"c", "s"})
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := &Executor{Workers: workers, Reuse: true}
+			root := mk()
+			if _, err := e.Run(root, true); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(root, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(probe.NumRows())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
 	}
 }

@@ -74,6 +74,30 @@ func rowsEqual(cols []storage.Column, idxs []int, a int, keyCols []storage.Colum
 	return true
 }
 
+// keyRowsEqual compares row a of cols a against row b of cols b, column by
+// column (used when merging per-partition group states, where both sides are
+// already key-column layouts).
+func keyRowsEqual(a []storage.Column, ai int, b []storage.Column, bi int) bool {
+	for k := range a {
+		ca, cb := &a[k], &b[k]
+		switch ca.Kind {
+		case storage.Int64:
+			if ca.Ints[ai] != cb.Ints[bi] {
+				return false
+			}
+		case storage.Float64:
+			if ca.Flts[ai] != cb.Flts[bi] {
+				return false
+			}
+		case storage.String:
+			if ca.Strs[ai] != cb.Strs[bi] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // joinState is the materialized build side of a hash join. Build rows are
 // entries of the open-addressing table in insertion order, so the table's
 // entry ids double as row indices into keyCols/payload.
@@ -84,7 +108,19 @@ type joinState struct {
 	rows    int
 }
 
-// appendCol appends value at row i of src to dst.
+// joinPartial is one morsel partition's contribution to a hash-join build:
+// the key/payload rows plus their precomputed hashes, without a hash table.
+// Partials are merged into the shared joinState in block order, reproducing
+// the exact insertion order (and therefore probe output order) of a serial
+// build.
+type joinPartial struct {
+	hashes  []uint64
+	keyCols []storage.Column
+	payload []storage.Column
+	rows    int
+}
+
+// appendVal appends value at row i of src to dst.
 func appendVal(dst, src *storage.Column, i int) {
 	switch src.Kind {
 	case storage.Int64:
@@ -114,35 +150,90 @@ func (rt *runtime) makeBuild(n *plan.Node) (pushFn, func(), error) {
 	}
 }
 
-func (rt *runtime) makeJoinBuild(n *plan.Node) (pushFn, func(), error) {
+// newJoinState checks a join build state out of the scratch and shapes it
+// for n's build side.
+func (rt *runtime) newJoinState(n *plan.Node) *joinState {
 	in := n.Left
+	st := rt.scratch.joinState()
 	// Presize from the build input's cardinality annotation so steady-state
 	// builds (label collection re-executing annotated plans) never rehash,
 	// clamped to what the input can actually produce.
-	st := &joinState{ht: rt.scratch.table(presize(in.OutCard, in))}
-	st.keyCols = make([]storage.Column, len(n.BuildKeys))
+	st.ht = rt.scratch.table(presize(in.OutCard, in))
+	st.rows = 0
+	st.keyCols = shapeCols(st.keyCols, len(n.BuildKeys))
 	for k, ci := range n.BuildKeys {
-		st.keyCols[k] = storage.Column{Kind: in.Schema[ci].Kind}
+		st.keyCols[k].Name, st.keyCols[k].Kind = "", in.Schema[ci].Kind
 	}
-	st.payload = make([]storage.Column, len(n.BuildPayload))
+	st.payload = shapeCols(st.payload, len(n.BuildPayload))
 	for k, ci := range n.BuildPayload {
-		st.payload[k] = storage.Column{Name: in.Schema[ci].Name, Kind: in.Schema[ci].Kind}
+		st.payload[k].Name, st.payload[k].Kind = in.Schema[ci].Name, in.Schema[ci].Kind
 	}
-	rt.states[n] = st
-	push := func(b *expr.Batch) {
-		for i := 0; i < b.N; i++ {
-			h := hashRow(b.Cols, n.BuildKeys, i)
-			st.ht.insert(h) // entry id == st.rows (sequential inserts)
-			for k, ci := range n.BuildKeys {
-				appendVal(&st.keyCols[k], &b.Cols[ci], i)
-			}
-			for k, ci := range n.BuildPayload {
-				appendVal(&st.payload[k], &b.Cols[ci], i)
-			}
-			st.rows++
+	return st
+}
+
+// buildBatch folds one batch into the join build state.
+func (st *joinState) buildBatch(n *plan.Node, b *expr.Batch) {
+	for i := 0; i < b.N; i++ {
+		h := hashRow(b.Cols, n.BuildKeys, i)
+		st.ht.insert(h) // entry id == st.rows (sequential inserts)
+		for k, ci := range n.BuildKeys {
+			appendVal(&st.keyCols[k], &b.Cols[ci], i)
 		}
+		for k, ci := range n.BuildPayload {
+			appendVal(&st.payload[k], &b.Cols[ci], i)
+		}
+		st.rows++
 	}
-	return push, nil, nil
+}
+
+func (rt *runtime) makeJoinBuild(n *plan.Node) (pushFn, func(), error) {
+	st := rt.newJoinState(n)
+	rt.states[n] = st
+	return func(b *expr.Batch) { st.buildBatch(n, b) }, nil, nil
+}
+
+// shape prepares a partition-local join partial matching st's layout.
+func (p *joinPartial) shape(st *joinState) {
+	p.hashes = p.hashes[:0]
+	p.rows = 0
+	p.keyCols = shapeCols(p.keyCols, len(st.keyCols))
+	for k := range st.keyCols {
+		p.keyCols[k].Kind = st.keyCols[k].Kind
+	}
+	p.payload = shapeCols(p.payload, len(st.payload))
+	for k := range st.payload {
+		p.payload[k].Kind = st.payload[k].Kind
+	}
+}
+
+// buildBatch folds one batch into the partition-local join partial.
+func (p *joinPartial) buildBatch(n *plan.Node, b *expr.Batch) {
+	for i := 0; i < b.N; i++ {
+		p.hashes = append(p.hashes, hashRow(b.Cols, n.BuildKeys, i))
+		for k, ci := range n.BuildKeys {
+			appendVal(&p.keyCols[k], &b.Cols[ci], i)
+		}
+		for k, ci := range n.BuildPayload {
+			appendVal(&p.payload[k], &b.Cols[ci], i)
+		}
+		p.rows++
+	}
+}
+
+// merge appends a partition's rows to the shared join state. Hashes were
+// precomputed morsel-parallel; the table inserts are sequential and in block
+// order, so entry ids match a serial build exactly.
+func (st *joinState) merge(p *joinPartial) {
+	for _, h := range p.hashes {
+		st.ht.insert(h)
+	}
+	for k := range st.keyCols {
+		appendCol(&st.keyCols[k], &p.keyCols[k])
+	}
+	for k := range st.payload {
+		appendCol(&st.payload[k], &p.payload[k])
+	}
+	st.rows += p.rows
 }
 
 // makeProbe wraps sink with the probe stage of a hash join.
@@ -201,6 +292,9 @@ type groupState struct {
 	keyCols []storage.Column // one row per group
 	ht      *hashTab
 	groups  int
+	// hashes records each group's key hash in discovery order, so
+	// per-partition states can be merged without rehashing keys.
+	hashes []uint64
 	// accumulators, one slice entry per group per aggregate
 	sums   [][]float64
 	counts [][]int64
@@ -223,74 +317,204 @@ func (st *groupState) addGroup(aggs []plan.Agg) {
 	}
 }
 
-func (rt *runtime) makeGroupByBuild(n *plan.Node) (pushFn, func(), error) {
+// newGroupState checks a group state out of the scratch and shapes it for n,
+// presizing the table for `expected` groups.
+func (rt *runtime) newGroupState(n *plan.Node, expected int) *groupState {
 	in := n.Left
+	st := rt.scratch.groupState()
+	st.ht = rt.scratch.table(expected)
+	st.groups = 0
+	st.hashes = st.hashes[:0]
+	st.keyCols = shapeCols(st.keyCols, len(n.GroupCols))
+	for k, ci := range n.GroupCols {
+		st.keyCols[k].Name, st.keyCols[k].Kind = in.Schema[ci].Name, in.Schema[ci].Kind
+	}
+	st.sums = truncAccF(st.sums, len(n.Aggs))
+	st.counts = truncAccI(st.counts, len(n.Aggs))
+	st.strMin = truncAccS(st.strMin, len(n.Aggs))
+	st.strMax = truncAccS(st.strMax, len(n.Aggs))
+	for a, agg := range n.Aggs {
+		if (agg.Fn == plan.AggMin || agg.Fn == plan.AggMax) && in.Schema[agg.Col].Kind == storage.String {
+			if st.strMin[a] == nil {
+				st.strMin[a] = []string{}
+				st.strMax[a] = []string{}
+			}
+		} else {
+			st.strMin[a] = nil
+			st.strMax[a] = nil
+		}
+	}
+	return st
+}
+
+func truncAccF(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		next := make([][]float64, n)
+		copy(next, s)
+		s = next
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+func truncAccI(s [][]int64, n int) [][]int64 {
+	if cap(s) < n {
+		next := make([][]int64, n)
+		copy(next, s)
+		s = next
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+func truncAccS(s [][]string, n int) [][]string {
+	if cap(s) < n {
+		next := make([][]string, n)
+		copy(next, s)
+		s = next
+	}
+	s = s[:n]
+	for i := range s {
+		if s[i] != nil {
+			s[i] = s[i][:0]
+		}
+	}
+	return s
+}
+
+// update folds one batch into the group state.
+func (st *groupState) update(n *plan.Node, b *expr.Batch) {
+	for i := 0; i < b.N; i++ {
+		h := hashRow(b.Cols, n.GroupCols, i)
+		gi := int32(-1)
+		for cand := st.ht.lookup(h); cand >= 0; cand = st.ht.next[cand] {
+			if rowsEqual(b.Cols, n.GroupCols, i, st.keyCols, int(cand)) {
+				gi = cand
+				break
+			}
+		}
+		if gi < 0 {
+			gi = st.ht.insert(h) // entry id == st.groups (sequential)
+			st.hashes = append(st.hashes, h)
+			for k, ci := range n.GroupCols {
+				appendVal(&st.keyCols[k], &b.Cols[ci], i)
+			}
+			st.addGroup(n.Aggs)
+		}
+		for a, agg := range n.Aggs {
+			updateAcc(st, a, agg, b, gi, i)
+		}
+	}
+}
+
+// merge folds a partition's groups into st, in the partition's discovery
+// order. Because partitions are merged in block order, the merged group
+// order equals the serial discovery order exactly.
+func (st *groupState) merge(n *plan.Node, src *groupState) {
+	for sg := 0; sg < src.groups; sg++ {
+		h := src.hashes[sg]
+		gi := int32(-1)
+		for cand := st.ht.lookup(h); cand >= 0; cand = st.ht.next[cand] {
+			if keyRowsEqual(src.keyCols, sg, st.keyCols, int(cand)) {
+				gi = cand
+				break
+			}
+		}
+		if gi < 0 {
+			gi = st.ht.insert(h)
+			st.hashes = append(st.hashes, h)
+			for k := range st.keyCols {
+				appendVal(&st.keyCols[k], &src.keyCols[k], sg)
+			}
+			st.addGroup(n.Aggs)
+		}
+		for a, agg := range n.Aggs {
+			mergeAcc(st, a, agg, src, gi, sg)
+		}
+	}
+}
+
+// mergeAcc folds partition group sg's accumulator into st's group gi.
+func mergeAcc(st *groupState, a int, agg plan.Agg, src *groupState, gi int32, sg int) {
+	srcCount := src.counts[a][sg]
+	if srcCount == 0 {
+		return
+	}
+	switch {
+	case agg.Fn == plan.AggCount:
+		// count only
+	case st.strMin[a] != nil:
+		if st.counts[a][gi] == 0 {
+			st.strMin[a][gi] = src.strMin[a][sg]
+			st.strMax[a][gi] = src.strMax[a][sg]
+		} else {
+			if agg.Fn == plan.AggMin && src.strMin[a][sg] < st.strMin[a][gi] {
+				st.strMin[a][gi] = src.strMin[a][sg]
+			}
+			if agg.Fn == plan.AggMax && src.strMax[a][sg] > st.strMax[a][gi] {
+				st.strMax[a][gi] = src.strMax[a][sg]
+			}
+		}
+	default:
+		v := src.sums[a][sg]
+		switch agg.Fn {
+		case plan.AggSum, plan.AggAvg:
+			st.sums[a][gi] += v
+		case plan.AggMin:
+			if v < st.sums[a][gi] {
+				st.sums[a][gi] = v
+			}
+		case plan.AggMax:
+			if v > st.sums[a][gi] {
+				st.sums[a][gi] = v
+			}
+		}
+	}
+	st.counts[a][gi] += srcCount
+}
+
+func (rt *runtime) makeGroupByBuild(n *plan.Node) (pushFn, func(), error) {
 	// Presize from the group-by's own output-cardinality annotation: the
 	// number of entries is the number of distinct groups, which can never
 	// exceed the input row count.
-	st := &groupState{ht: rt.scratch.table(presize(n.OutCard, n.Left))}
-	st.keyCols = make([]storage.Column, len(n.GroupCols))
-	for k, ci := range n.GroupCols {
-		st.keyCols[k] = storage.Column{Name: in.Schema[ci].Name, Kind: in.Schema[ci].Kind}
-	}
-	st.sums = make([][]float64, len(n.Aggs))
-	st.counts = make([][]int64, len(n.Aggs))
-	st.strMin = make([][]string, len(n.Aggs))
-	st.strMax = make([][]string, len(n.Aggs))
-	for a, agg := range n.Aggs {
-		if (agg.Fn == plan.AggMin || agg.Fn == plan.AggMax) && in.Schema[agg.Col].Kind == storage.String {
-			st.strMin[a] = []string{}
-			st.strMax[a] = []string{}
-		}
-	}
+	st := rt.newGroupState(n, presize(n.OutCard, n.Left))
 	// Register the build state; finalize replaces it with the materialized
 	// output, and a premature scan fails the *Materialized assertion.
 	rt.states[n] = st
-
-	push := func(b *expr.Batch) {
-		for i := 0; i < b.N; i++ {
-			h := hashRow(b.Cols, n.GroupCols, i)
-			gi := int32(-1)
-			for cand := st.ht.lookup(h); cand >= 0; cand = st.ht.next[cand] {
-				if rowsEqual(b.Cols, n.GroupCols, i, st.keyCols, int(cand)) {
-					gi = cand
-					break
-				}
-			}
-			if gi < 0 {
-				gi = st.ht.insert(h) // entry id == st.groups (sequential)
-				for k, ci := range n.GroupCols {
-					appendVal(&st.keyCols[k], &b.Cols[ci], i)
-				}
-				st.addGroup(n.Aggs)
-			}
-			for a, agg := range n.Aggs {
-				updateAcc(st, a, agg, b, gi, i)
-			}
-		}
-	}
-
-	finalize := func() {
-		// A global aggregate over empty input still yields one row.
-		if len(n.GroupCols) == 0 && st.groups == 0 {
-			st.addGroup(n.Aggs)
-		}
-		out := newMaterialized(n.Schema)
-		ng := len(n.GroupCols)
-		for k := range st.keyCols {
-			out.Cols[k] = st.keyCols[k]
-		}
-		for a, agg := range n.Aggs {
-			col := &out.Cols[ng+a]
-			for g := 0; g < st.groups; g++ {
-				writeAgg(col, st, a, agg, int32(g))
-			}
-		}
-		out.N = st.groups
-		rt.states[n] = out
-		rt.count(n).out = int64(st.groups)
-	}
+	push := func(b *expr.Batch) { st.update(n, b) }
+	finalize := func() { rt.finalizeGroup(n, st) }
 	return push, finalize, nil
+}
+
+// finalizeGroup materializes the group state as n's breaker output.
+func (rt *runtime) finalizeGroup(n *plan.Node, st *groupState) {
+	// A global aggregate over empty input still yields one row.
+	if len(n.GroupCols) == 0 && st.groups == 0 {
+		st.addGroup(n.Aggs)
+	}
+	out := rt.scratch.mat(n.Schema)
+	ng := len(n.GroupCols)
+	// Copy the key columns rather than aliasing st.keyCols: both the state
+	// and the output buffer are pooled, and aliasing would let a future
+	// checkout of one corrupt the other.
+	for k := range st.keyCols {
+		appendCol(&out.Cols[k], &st.keyCols[k])
+	}
+	for a, agg := range n.Aggs {
+		col := &out.Cols[ng+a]
+		for g := 0; g < st.groups; g++ {
+			writeAgg(col, st, a, agg, int32(g))
+		}
+	}
+	out.N = st.groups
+	rt.states[n] = out
+	rt.count(n).out = int64(st.groups)
 }
 
 func initialAcc(fn plan.AggFn) float64 {
@@ -388,19 +612,22 @@ func writeAgg(col *storage.Column, st *groupState, a int, agg plan.Agg, g int32)
 }
 
 func (rt *runtime) makeSortBuild(n *plan.Node) (pushFn, func(), error) {
-	buf := newMaterialized(n.Left.Schema)
+	buf := rt.scratch.mat(n.Left.Schema)
 	push := func(b *expr.Batch) { buf.appendBatch(b) }
-	finalize := func() {
-		perm := sortPerm(buf, n.SortCols, n.SortDesc)
-		out := applyPerm(buf, perm, n.Schema)
-		rt.states[n] = out
-		rt.count(n).out = int64(out.N)
-	}
+	finalize := func() { rt.finalizeSort(n, buf) }
 	return push, finalize, nil
 }
 
+// finalizeSort materializes the sort breaker output from its input buffer.
+func (rt *runtime) finalizeSort(n *plan.Node, buf *Materialized) {
+	perm := sortPerm(buf, n.SortCols, n.SortDesc, rt.scratch.permBuf(buf.N))
+	out := rt.applyPerm(buf, perm, n.Schema)
+	rt.states[n] = out
+	rt.count(n).out = int64(out.N)
+}
+
 func (rt *runtime) makeMaterializeBuild(n *plan.Node) (pushFn, func(), error) {
-	buf := newMaterialized(n.Left.Schema)
+	buf := rt.scratch.mat(n.Left.Schema)
 	push := func(b *expr.Batch) { buf.appendBatch(b) }
 	finalize := func() {
 		rt.states[n] = buf
@@ -410,47 +637,53 @@ func (rt *runtime) makeMaterializeBuild(n *plan.Node) (pushFn, func(), error) {
 }
 
 func (rt *runtime) makeWindowBuild(n *plan.Node) (pushFn, func(), error) {
-	buf := newMaterialized(n.Left.Schema)
+	buf := rt.scratch.mat(n.Left.Schema)
 	push := func(b *expr.Batch) { buf.appendBatch(b) }
-	finalize := func() {
-		keys := append(append([]int(nil), n.WinPartition...), n.WinOrder...)
-		desc := make([]bool, len(keys))
-		perm := sortPerm(buf, keys, desc)
-		sorted := applyPerm(buf, perm, n.Left.Schema)
-
-		fnCol := storage.Column{Name: n.Schema[len(n.Schema)-1].Name, Kind: n.Schema[len(n.Schema)-1].Kind}
-		var rowNum int64
-		var rank int64
-		var runSum float64
-		for i := 0; i < sorted.N; i++ {
-			newPart := i == 0 || !sameRow(sorted, i, i-1, n.WinPartition)
-			if newPart {
-				rowNum, rank, runSum = 0, 0, 0
-			}
-			rowNum++
-			if newPart || !sameRow(sorted, i, i-1, n.WinOrder) {
-				rank = rowNum
-			}
-			switch n.WinFunc {
-			case plan.WinRowNumber:
-				fnCol.Ints = append(fnCol.Ints, rowNum)
-			case plan.WinRank:
-				fnCol.Ints = append(fnCol.Ints, rank)
-			case plan.WinSum:
-				c := &sorted.Cols[n.WinArg]
-				if c.Kind == storage.Int64 {
-					runSum += float64(c.Ints[i])
-				} else {
-					runSum += c.Flts[i]
-				}
-				fnCol.Flts = append(fnCol.Flts, runSum)
-			}
-		}
-		sorted.Cols = append(sorted.Cols, fnCol)
-		rt.states[n] = sorted
-		rt.count(n).out = int64(sorted.N)
-	}
+	finalize := func() { rt.finalizeWindow(n, buf) }
 	return push, finalize, nil
+}
+
+// finalizeWindow sorts the buffered input by partition+order keys and
+// computes the window function into the output's last column.
+func (rt *runtime) finalizeWindow(n *plan.Node, buf *Materialized) {
+	keys := append(append([]int(nil), n.WinPartition...), n.WinOrder...)
+	desc := make([]bool, len(keys))
+	perm := sortPerm(buf, keys, desc, rt.scratch.permBuf(buf.N))
+	// applyPerm with the full output schema: buf has one column fewer than
+	// n.Schema, so the trailing (window function) column comes out shaped
+	// and empty, ready to be appended into.
+	sorted := rt.applyPerm(buf, perm, n.Schema)
+
+	fnCol := &sorted.Cols[len(sorted.Cols)-1]
+	var rowNum int64
+	var rank int64
+	var runSum float64
+	for i := 0; i < sorted.N; i++ {
+		newPart := i == 0 || !sameRow(sorted, i, i-1, n.WinPartition)
+		if newPart {
+			rowNum, rank, runSum = 0, 0, 0
+		}
+		rowNum++
+		if newPart || !sameRow(sorted, i, i-1, n.WinOrder) {
+			rank = rowNum
+		}
+		switch n.WinFunc {
+		case plan.WinRowNumber:
+			fnCol.Ints = append(fnCol.Ints, rowNum)
+		case plan.WinRank:
+			fnCol.Ints = append(fnCol.Ints, rank)
+		case plan.WinSum:
+			c := &sorted.Cols[n.WinArg]
+			if c.Kind == storage.Int64 {
+				runSum += float64(c.Ints[i])
+			} else {
+				runSum += c.Flts[i]
+			}
+			fnCol.Flts = append(fnCol.Flts, runSum)
+		}
+	}
+	rt.states[n] = sorted
+	rt.count(n).out = int64(sorted.N)
 }
 
 // sameRow reports whether rows a and b agree on the given key columns.
@@ -475,9 +708,9 @@ func sameRow(m *Materialized, a, b int, keys []int) bool {
 	return true
 }
 
-// sortPerm computes a permutation ordering buf by the key columns.
-func sortPerm(buf *Materialized, keys []int, desc []bool) []int32 {
-	perm := make([]int32, buf.N)
+// sortPerm computes a permutation ordering buf by the key columns into the
+// caller-supplied buffer (len buf.N).
+func sortPerm(buf *Materialized, keys []int, desc []bool, perm []int32) []int32 {
 	for i := range perm {
 		perm[i] = int32(i)
 	}
@@ -521,25 +754,26 @@ func sortPerm(buf *Materialized, keys []int, desc []bool) []int32 {
 	return perm
 }
 
-// applyPerm materializes buf reordered by perm with the given schema.
-func applyPerm(buf *Materialized, perm []int32, schema []plan.ColMeta) *Materialized {
-	out := newMaterialized(schema)
+// applyPerm materializes buf reordered by perm into a pooled buffer with the
+// given schema. Schema columns beyond buf's width come out empty.
+func (rt *runtime) applyPerm(buf *Materialized, perm []int32, schema []plan.ColMeta) *Materialized {
+	out := rt.scratch.mat(schema)
 	for c := range buf.Cols {
 		src := &buf.Cols[c]
 		dst := &out.Cols[c]
 		switch src.Kind {
 		case storage.Int64:
-			dst.Ints = make([]int64, len(perm))
+			dst.Ints = resizeInt64(dst.Ints, len(perm))
 			for i, p := range perm {
 				dst.Ints[i] = src.Ints[p]
 			}
 		case storage.Float64:
-			dst.Flts = make([]float64, len(perm))
+			dst.Flts = resizeFloat64(dst.Flts, len(perm))
 			for i, p := range perm {
 				dst.Flts[i] = src.Flts[p]
 			}
 		case storage.String:
-			dst.Strs = make([]string, len(perm))
+			dst.Strs = resizeString(dst.Strs, len(perm))
 			for i, p := range perm {
 				dst.Strs[i] = src.Strs[p]
 			}

@@ -10,6 +10,13 @@
 // With annotation enabled, the executor also records true cardinalities for
 // every operator and per-predicate selectivities for table scans — the
 // engine's "explain analyze" (§4.3).
+//
+// With Workers > 1, eligible pipelines run morsel-driven parallel: the
+// source is split into contiguous blocks dispatched over a par.Pool, each
+// block runs the full stage chain into a partition-local sink, and the
+// partial states merge in block order so results (row order, group
+// discovery order, cardinality counters) match the serial engine exactly.
+// See parallel.go.
 package exec
 
 import (
@@ -20,15 +27,41 @@ import (
 	"t3/internal/engine/plan"
 	"t3/internal/engine/storage"
 	"t3/internal/obs"
+	"t3/internal/par"
 )
 
 // DefaultBatchSize is the number of tuples pushed per batch.
 const DefaultBatchSize = 1024
 
-// Executor runs plans. The zero value is usable.
+// Executor runs plans. The zero value is usable and executes serially.
 type Executor struct {
 	// BatchSize overrides DefaultBatchSize when > 0.
 	BatchSize int
+
+	// Workers sets the intra-query parallelism degree: pipelines whose
+	// source is large enough are split into morsels executed over Pool.
+	// 0 or 1 means serial execution (bit-identical to the zero executor).
+	Workers int
+
+	// MorselRows overrides DefaultMorselRows when > 0.
+	MorselRows int
+
+	// Pool supplies the workers for morsel execution. When nil and
+	// Workers > 1, the process-wide par.Sized(Workers) pool is used.
+	// Sharing one pool between inter-query fan-out (workload.CollectLabels)
+	// and intra-query morsels is safe: the pool's caller-runs overflow
+	// policy degrades to inline execution when saturated.
+	Pool *par.Pool
+
+	// Reuse makes Run recycle the RunResult and the output Materialized
+	// across calls: the returned result and its Output remain valid only
+	// until the next Run on this executor. An executor with Reuse set must
+	// not be shared between goroutines. Label-collection workers set it to
+	// keep the steady-state loop allocation-free.
+	Reuse bool
+
+	res RunResult
+	out Materialized
 }
 
 // PipelineTiming records the measured execution of one pipeline.
@@ -37,6 +70,13 @@ type PipelineTiming struct {
 	Index int
 	// SourceRows is the number of tuples scanned at the pipeline source.
 	SourceRows int
+	// Parallelism is the number of workers that can execute the pipeline's
+	// partitions concurrently: min(executor workers, Morsels). 1 for
+	// serially executed pipelines.
+	Parallelism int
+	// Morsels is the number of source partitions the pipeline was split
+	// into (1 when it ran serially).
+	Morsels int
 	// Duration is the wall-clock execution time of the pipeline.
 	Duration time.Duration
 }
@@ -64,6 +104,14 @@ func (m *Materialized) appendBatch(b *expr.Batch) {
 	m.N += b.N
 }
 
+// appendMat bulk-appends all rows of src to m (same schema).
+func (m *Materialized) appendMat(src *Materialized) {
+	for c := range m.Cols {
+		appendCol(&m.Cols[c], &src.Cols[c])
+	}
+	m.N += src.N
+}
+
 func newMaterialized(schema []plan.ColMeta) *Materialized {
 	m := &Materialized{Cols: make([]storage.Column, len(schema))}
 	for i, cm := range schema {
@@ -87,21 +135,41 @@ type RunResult struct {
 // Run executes the plan. If annotate is true, true cardinalities and
 // per-predicate selectivities are written back into the plan nodes.
 func (e *Executor) Run(root *plan.Node, annotate bool) (*RunResult, error) {
-	pipelines := plan.Decompose(root)
 	batchSize := e.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
+	workers := e.Workers
+	pool := e.Pool
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > 1 && pool == nil {
+		pool = par.Sized(workers)
+	}
+	morsel := e.MorselRows
+	if morsel <= 0 {
+		morsel = DefaultMorselRows
+	}
 	scratch := scratchPool.Get().(*execScratch)
 	scratch.begin()
 	defer scratchPool.Put(scratch)
+	pipelines := plan.DecomposeInto(root, &scratch.pipes)
 	rt := &runtime{
 		batchSize: batchSize,
-		states:    make(map[*plan.Node]any),
-		counts:    make(map[*plan.Node]*nodeCount),
+		states:    scratch.states,
+		counts:    scratch.counts,
 		scratch:   scratch,
+		workers:   workers,
+		morsel:    morsel,
+		pool:      pool,
 	}
 	res := &RunResult{}
+	if e.Reuse {
+		res = &e.res
+		*res = RunResult{Pipelines: res.Pipelines[:0]}
+		rt.resultBuf = &e.out
+	}
 	for _, p := range pipelines {
 		start := time.Now()
 		srcRows, err := rt.runPipeline(p, root)
@@ -109,7 +177,13 @@ func (e *Executor) Run(root *plan.Node, annotate bool) (*RunResult, error) {
 			return nil, fmt.Errorf("pipeline %d: %w", p.Index, err)
 		}
 		d := time.Since(start)
-		res.Pipelines = append(res.Pipelines, PipelineTiming{Index: p.Index, SourceRows: srcRows, Duration: d})
+		res.Pipelines = append(res.Pipelines, PipelineTiming{
+			Index:       p.Index,
+			SourceRows:  srcRows,
+			Parallelism: rt.lastPar,
+			Morsels:     rt.lastMorsels,
+			Duration:    d,
+		})
 		res.Total += d
 		obs.ExecPipelines.Inc()
 		obs.ExecPipelineTime.Observe(d)
@@ -146,6 +220,17 @@ type nodeCount struct {
 	predPass []int64 // per pushed-down predicate: tuples that passed
 }
 
+// add folds another counter for the same node into c.
+func (c *nodeCount) add(o *nodeCount) {
+	c.out += o.out
+	for i := range o.predEval {
+		c.predEval[i] += o.predEval[i]
+	}
+	for i := range o.predPass {
+		c.predPass[i] += o.predPass[i]
+	}
+}
+
 // runtime carries execution state across the pipelines of one plan run.
 type runtime struct {
 	batchSize int
@@ -153,22 +238,48 @@ type runtime struct {
 	counts    map[*plan.Node]*nodeCount
 	result    *Materialized
 	stop      bool // set by LIMIT once satisfied
-	// scratch supplies pooled batch buffers, hash tables, and selection
-	// vectors; it is checked out for the duration of one Run.
+	// scratch supplies pooled batch buffers, hash tables, selection
+	// vectors, materialized buffers, and build states; it is checked out
+	// for the duration of one Run (or one parallel partition).
 	scratch *execScratch
+
+	workers int       // intra-query parallelism degree (1 = serial)
+	morsel  int       // rows per morsel for parallel eligibility/splitting
+	pool    *par.Pool // worker pool for morsel execution
+
+	// resultBuf, when set, is reused as the output Materialized (Reuse mode).
+	resultBuf *Materialized
+
+	// lastPar/lastMorsels describe the most recent runPipeline call.
+	lastPar, lastMorsels int
 }
 
 func (rt *runtime) count(n *plan.Node) *nodeCount {
 	c := rt.counts[n]
 	if c == nil {
-		c = &nodeCount{}
-		if n.Op == plan.TableScanOp {
-			c.predEval = make([]int64, len(n.Predicates))
-			c.predPass = make([]int64, len(n.Predicates))
+		if rt.scratch != nil {
+			c = rt.scratch.nodeCount(n)
+		} else {
+			c = &nodeCount{}
+			if n.Op == plan.TableScanOp {
+				c.predEval = make([]int64, len(n.Predicates))
+				c.predPass = make([]int64, len(n.Predicates))
+			}
 		}
 		rt.counts[n] = c
 	}
 	return c
+}
+
+// resultMat returns the Materialized that receives the query result: the
+// executor-owned reusable buffer in Reuse mode, a fresh allocation otherwise
+// (the result escapes the run, so it cannot come from pooled scratch).
+func (rt *runtime) resultMat(schema []plan.ColMeta) *Materialized {
+	if rt.resultBuf != nil {
+		matShape(rt.resultBuf, schema)
+		return rt.resultBuf
+	}
+	return newMaterialized(schema)
 }
 
 // writeAnnotations copies measured counters into the plan's Card.True
@@ -199,6 +310,11 @@ type pushFn func(b *expr.Batch)
 // scanned.
 func (rt *runtime) runPipeline(p *plan.Pipeline, root *plan.Node) (int, error) {
 	rt.stop = false
+	rt.lastPar, rt.lastMorsels = 1, 1
+
+	if parts, rows, srcMat, ok := rt.parallelism(p); ok {
+		return rt.runPipelineParallel(p, root, parts, rows, srcMat)
+	}
 
 	// Build the push chain from the last stage backwards to the sink.
 	var sink pushFn
@@ -213,7 +329,7 @@ func (rt *runtime) runPipeline(p *plan.Pipeline, root *plan.Node) (int, error) {
 		}
 	} else {
 		// Final pipeline: materialize the query result.
-		out := newMaterialized(root.Schema)
+		out := rt.resultMat(root.Schema)
 		rt.result = out
 		sink = func(b *expr.Batch) { out.appendBatch(b) }
 	}
@@ -252,7 +368,7 @@ func (rt *runtime) driveSource(n *plan.Node, sink pushFn) (int, error) {
 		if !ok {
 			return 0, fmt.Errorf("scan of %v before its build ran", n.Op)
 		}
-		rt.scanMaterialized(n, st, sink)
+		rt.scanMatRange(n, st, sink, 0, st.N)
 		return st.N, nil
 	default:
 		return 0, fmt.Errorf("node %v cannot be a pipeline source", n.Op)
@@ -267,6 +383,16 @@ func (rt *runtime) scanTable(n *plan.Node, sink pushFn) (int, error) {
 		return 0, fmt.Errorf("table scan %q has no bound table", n.TableName)
 	}
 	total := t.NumRows()
+	rt.scanTableRange(n, sink, 0, total)
+	return total, nil
+}
+
+// scanTableRange scans base-table rows [lo, hi), applying pushed-down
+// predicates, compacting, and pushing. The caller guarantees n.Table is
+// bound. Morsel partitions call it with their block bounds; the serial path
+// with the full table.
+func (rt *runtime) scanTableRange(n *plan.Node, sink pushFn, lo, hi int) {
+	t := n.Table
 	nc := rt.count(n)
 	sel := rt.scratch.selBuf(rt.batchSize)
 	// One pooled batch buffer for the whole scan: tuples are copied out of
@@ -274,25 +400,25 @@ func (rt *runtime) scanTable(n *plan.Node, sink pushFn) (int, error) {
 	// (filter compaction, limit truncation) mutate batch columns in place
 	// and must never write through to the base table.
 	bb := rt.scratch.batchMeta(n.Schema)
-	for off := 0; off < total && !rt.stop; off += rt.batchSize {
-		hi := off + rt.batchSize
-		if hi > total {
-			hi = total
+	for off := lo; off < hi && !rt.stop; off += rt.batchSize {
+		end := off + rt.batchSize
+		if end > hi {
+			end = hi
 		}
-		m := hi - off
+		m := end - off
 		for i, ci := range n.ScanCols {
 			src := &t.Columns[ci]
 			dst := &bb.cols[i]
 			switch src.Kind {
 			case storage.Int64:
-				dst.Ints = append(dst.Ints[:0], src.Ints[off:hi]...)
+				dst.Ints = append(dst.Ints[:0], src.Ints[off:end]...)
 			case storage.Float64:
-				dst.Flts = append(dst.Flts[:0], src.Flts[off:hi]...)
+				dst.Flts = append(dst.Flts[:0], src.Flts[off:end]...)
 			case storage.String:
-				dst.Strs = append(dst.Strs[:0], src.Strs[off:hi]...)
+				dst.Strs = append(dst.Strs[:0], src.Strs[off:end]...)
 			}
 			if src.Nulls != nil {
-				dst.Nulls = append(dst.Nulls[:0], src.Nulls[off:hi]...)
+				dst.Nulls = append(dst.Nulls[:0], src.Nulls[off:end]...)
 			} else {
 				dst.Nulls = nil
 			}
@@ -320,33 +446,33 @@ func (rt *runtime) scanTable(n *plan.Node, sink pushFn) (int, error) {
 			sink(b)
 		}
 	}
-	return total, nil
 }
 
-// scanMaterialized pushes a breaker's materialized state in batches. The
-// breaker's out count was already recorded when its state materialized.
-func (rt *runtime) scanMaterialized(n *plan.Node, m *Materialized, sink pushFn) {
+// scanMatRange pushes rows [lo, hi) of a breaker's materialized state in
+// batches. The breaker's out count was already recorded when its state
+// materialized.
+func (rt *runtime) scanMatRange(n *plan.Node, m *Materialized, sink pushFn, lo, hi int) {
 	bb := rt.scratch.batch(m.Cols)
-	for off := 0; off < m.N && !rt.stop; off += rt.batchSize {
-		hi := off + rt.batchSize
-		if hi > m.N {
-			hi = m.N
+	for off := lo; off < hi && !rt.stop; off += rt.batchSize {
+		end := off + rt.batchSize
+		if end > hi {
+			end = hi
 		}
 		for i := range m.Cols {
 			src := &m.Cols[i]
 			dst := &bb.cols[i]
-			// Copy for the same reason as scanTable: downstream stages
+			// Copy for the same reason as scanTableRange: downstream stages
 			// mutate batches in place.
 			switch src.Kind {
 			case storage.Int64:
-				dst.Ints = append(dst.Ints[:0], src.Ints[off:hi]...)
+				dst.Ints = append(dst.Ints[:0], src.Ints[off:end]...)
 			case storage.Float64:
-				dst.Flts = append(dst.Flts[:0], src.Flts[off:hi]...)
+				dst.Flts = append(dst.Flts[:0], src.Flts[off:end]...)
 			case storage.String:
-				dst.Strs = append(dst.Strs[:0], src.Strs[off:hi]...)
+				dst.Strs = append(dst.Strs[:0], src.Strs[off:end]...)
 			}
 		}
-		sink(bb.attach(hi - off))
+		sink(bb.attach(end - off))
 	}
 }
 
@@ -398,7 +524,7 @@ func (rt *runtime) makeStage(s plan.StageRef, sink pushFn) (pushFn, error) {
 	switch {
 	case n.Op == plan.FilterOp:
 		nc := rt.count(n)
-		var sel []bool
+		sel := rt.scratch.selBuf(rt.batchSize)
 		return func(b *expr.Batch) {
 			if cap(sel) < b.N {
 				sel = make([]bool, b.N)
@@ -417,15 +543,27 @@ func (rt *runtime) makeStage(s plan.StageRef, sink pushFn) (pushFn, error) {
 
 	case n.Op == plan.MapOp:
 		nc := rt.count(n)
+		comps := compileMapExprs(n)
+		// cols retains one compute column per map expression; outCols
+		// retains the published column-header slice. Both are reused across
+		// batches: downstream sinks consume each batch synchronously and
+		// never hold onto its column headers.
+		cols := make([]storage.Column, len(n.MapExprs))
+		outCols := make([]storage.Column, 0, len(n.Schema))
 		return func(b *expr.Batch) {
-			outCols := make([]storage.Column, 0, len(n.Schema))
+			outCols = outCols[:0]
 			if !n.MapReplaces() {
 				outCols = append(outCols, b.Cols...)
 			}
-			for i, e := range n.MapExprs {
-				col := e.Eval(b)
-				col.Name = n.MapNames[i]
-				outCols = append(outCols, col)
+			for i := range n.MapExprs {
+				dst := &cols[i]
+				if f := comps[i]; f != nil {
+					f(b, dst)
+				} else {
+					*dst = n.MapExprs[i].Eval(b)
+				}
+				dst.Name = n.MapNames[i]
+				outCols = append(outCols, *dst)
 			}
 			b.Cols = outCols
 			nc.out += int64(b.N)

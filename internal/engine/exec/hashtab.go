@@ -1,11 +1,7 @@
 package exec
 
 import (
-	"sync"
-
-	"t3/internal/engine/expr"
 	"t3/internal/engine/plan"
-	"t3/internal/engine/storage"
 )
 
 // hashTab is the purpose-built open-addressing hash table behind hash joins
@@ -207,122 +203,4 @@ func presize(c plan.Card, input *plan.Node) int {
 		return b
 	}
 	return e
-}
-
-// execScratch holds the reusable buffers of one plan execution: batch
-// buffers, hash tables, and the scan selection vector. Run checks one out of
-// a process-wide pool and returns it when done, so steady-state execution
-// (the label-collection loop in particular) reuses the same arenas run
-// after run instead of reallocating them per pipeline.
-type execScratch struct {
-	sel     []bool
-	batches []*batchBuf
-	nb      int // batches handed out this run
-	tabs    []*hashTab
-	nt      int // tables handed out this run
-}
-
-var scratchPool = sync.Pool{New: func() any { return &execScratch{} }}
-
-// begin resets the check-out cursors for a new run. Buffers handed out
-// during a run stay checked out until the run ends (pipeline states outlive
-// their pipeline), so reuse happens across runs, not within one.
-func (s *execScratch) begin() { s.nb, s.nt = 0, 0 }
-
-// selBuf returns the selection vector, grown to n.
-func (s *execScratch) selBuf(n int) []bool {
-	if cap(s.sel) < n {
-		s.sel = make([]bool, n)
-	}
-	return s.sel[:n]
-}
-
-// batch hands out a reusable batch buffer shaped like the given columns
-// (data is not copied, only names and kinds).
-func (s *execScratch) batch(like []storage.Column) *batchBuf {
-	var bb *batchBuf
-	if s.nb < len(s.batches) {
-		bb = s.batches[s.nb]
-	} else {
-		bb = &batchBuf{}
-		s.batches = append(s.batches, bb)
-	}
-	s.nb++
-	bb.shape(len(like), func(i int) (string, storage.Type) { return like[i].Name, like[i].Kind })
-	return bb
-}
-
-// batchMeta is batch for a plan schema.
-func (s *execScratch) batchMeta(schema []plan.ColMeta) *batchBuf {
-	var bb *batchBuf
-	if s.nb < len(s.batches) {
-		bb = s.batches[s.nb]
-	} else {
-		bb = &batchBuf{}
-		s.batches = append(s.batches, bb)
-	}
-	s.nb++
-	bb.shape(len(schema), func(i int) (string, storage.Type) { return schema[i].Name, schema[i].Kind })
-	return bb
-}
-
-// table hands out a reusable hash table presized for `expected` entries.
-func (s *execScratch) table(expected int) *hashTab {
-	var t *hashTab
-	if s.nt < len(s.tabs) {
-		t = s.tabs[s.nt]
-	} else {
-		t = &hashTab{}
-		s.tabs = append(s.tabs, t)
-	}
-	s.nt++
-	t.reset(expected)
-	return t
-}
-
-// batchBuf is a reusable batch buffer. The retained columns in cols own the
-// backing arrays; callers truncate and append into cols, then call attach to
-// publish the filled columns into the batch handed downstream. Downstream
-// stages may shrink or replace b.Cols freely — the next refill starts from
-// the retained cols again.
-type batchBuf struct {
-	b    expr.Batch
-	cols []storage.Column
-}
-
-// shape configures the buffer's column count, names, and kinds, retaining
-// backing arrays from previous uses.
-func (bb *batchBuf) shape(n int, meta func(i int) (string, storage.Type)) {
-	if cap(bb.cols) < n {
-		cols := make([]storage.Column, n)
-		copy(cols, bb.cols)
-		bb.cols = cols
-	}
-	bb.cols = bb.cols[:n]
-	for i := range bb.cols {
-		c := &bb.cols[i]
-		c.Name, c.Kind = meta(i)
-	}
-	bb.truncate()
-}
-
-// truncate resets every retained column to zero rows.
-func (bb *batchBuf) truncate() {
-	for i := range bb.cols {
-		c := &bb.cols[i]
-		c.Ints = c.Ints[:0]
-		c.Flts = c.Flts[:0]
-		c.Strs = c.Strs[:0]
-		c.Nulls = nil
-	}
-	bb.b.N = 0
-}
-
-// attach publishes the retained columns (filled by the caller) as the
-// batch's columns with n rows. Must be called after every refill, because
-// appends into cols may have reallocated backing arrays.
-func (bb *batchBuf) attach(n int) *expr.Batch {
-	bb.b.Cols = append(bb.b.Cols[:0], bb.cols...)
-	bb.b.N = n
-	return &bb.b
 }

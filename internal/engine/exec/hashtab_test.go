@@ -438,14 +438,25 @@ func TestExecScratchArenaReuse(t *testing.T) {
 	if a, b := s.batchMeta(meta), s.batchMeta(meta); a == b {
 		t.Fatal("two checkouts in one run alias the same batch buffer")
 	}
-	// The selection buffer retains capacity across grows.
-	_ = s.selBuf(8)
+	// Selection vectors are checkouts too: distinct within a run (a scan and
+	// the filter stages it feeds hold theirs simultaneously), retained with
+	// their capacity across runs.
+	small := s.selBuf(8)
 	big := s.selBuf(1024)
 	if len(big) != 1024 {
 		t.Fatalf("selBuf(1024) has len %d", len(big))
 	}
+	small[0] = true
+	big[0] = true
+	if !small[0] || !big[0] {
+		t.Fatal("selBuf checkouts alias each other")
+	}
+	s.begin()
+	if again := s.selBuf(4); cap(again) < 8 {
+		t.Fatal("selBuf shrank its retained capacity across runs")
+	}
 	if again := s.selBuf(16); cap(again) < 1024 {
-		t.Fatal("selBuf shrank its retained capacity")
+		t.Fatal("selBuf did not reuse the second retained vector")
 	}
 }
 

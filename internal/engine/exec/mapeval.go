@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// Map-expression compilation: the map stage used to call ValueExpr.Eval per
+// batch, which allocates a fresh output column (and, for arithmetic, fresh
+// operand columns) every time — the single largest allocation source in the
+// label-collection loop. compileMapExprs lowers the three expression forms
+// the planner emits (column reference, constant, arithmetic) into closures
+// that write into a retained column owned by the map stage. Expression forms
+// it does not recognize fall back to Eval.
+//
+// The compiled closures are semantically exact replicas of Eval: a column
+// reference copies values and takes the kind of the *actual* input column
+// (dropping any null mask, as Eval does); a constant broadcasts; arithmetic
+// produces Float64 with mixed-type operands read through the same
+// numeric-coercion rules as expr.numAt (strings read as 0) and division by
+// zero yielding 0.
+
+// mapFn computes one map expression over b into the retained column dst.
+type mapFn func(b *expr.Batch, dst *storage.Column)
+
+// compileMapExprs compiles every map expression of n; entries are nil where
+// the expression form is not recognized (callers fall back to Eval).
+func compileMapExprs(n *plan.Node) []mapFn {
+	fns := make([]mapFn, len(n.MapExprs))
+	for i, e := range n.MapExprs {
+		fns[i] = compileMap(e)
+	}
+	return fns
+}
+
+func compileMap(e expr.ValueExpr) mapFn {
+	switch v := e.(type) {
+	case *expr.ColRef:
+		idx := v.Idx
+		return func(b *expr.Batch, dst *storage.Column) {
+			src := &b.Cols[idx]
+			dst.Kind = src.Kind
+			dst.Nulls = nil
+			switch src.Kind {
+			case storage.Int64:
+				dst.Ints = append(dst.Ints[:0], src.Ints[:b.N]...)
+			case storage.Float64:
+				dst.Flts = append(dst.Flts[:0], src.Flts[:b.N]...)
+			case storage.String:
+				dst.Strs = append(dst.Strs[:0], src.Strs[:b.N]...)
+			}
+		}
+	case *expr.Const:
+		c := *v
+		return func(b *expr.Batch, dst *storage.Column) {
+			dst.Kind = c.Typ
+			dst.Nulls = nil
+			switch c.Typ {
+			case storage.Int64:
+				dst.Ints = resizeInt64(dst.Ints, b.N)
+				for i := range dst.Ints {
+					dst.Ints[i] = c.I
+				}
+			case storage.Float64:
+				dst.Flts = resizeFloat64(dst.Flts, b.N)
+				for i := range dst.Flts {
+					dst.Flts[i] = c.F
+				}
+			case storage.String:
+				dst.Strs = resizeString(dst.Strs, b.N)
+				for i := range dst.Strs {
+					dst.Strs[i] = c.S
+				}
+			}
+		}
+	case *expr.Arith:
+		num := compileNum(v)
+		if num == nil {
+			return nil
+		}
+		return func(b *expr.Batch, dst *storage.Column) {
+			dst.Kind = storage.Float64
+			dst.Nulls = nil
+			dst.Flts = resizeFloat64(dst.Flts, b.N)
+			for i := 0; i < b.N; i++ {
+				dst.Flts[i] = num(b, i)
+			}
+		}
+	default:
+		return nil
+	}
+}
+
+// numFn reads one numeric value per row, mirroring expr.numAt coercion.
+type numFn func(b *expr.Batch, i int) float64
+
+func compileNum(e expr.ValueExpr) numFn {
+	switch v := e.(type) {
+	case *expr.ColRef:
+		idx := v.Idx
+		return func(b *expr.Batch, i int) float64 {
+			c := &b.Cols[idx]
+			switch c.Kind {
+			case storage.Int64:
+				return float64(c.Ints[i])
+			case storage.Float64:
+				return c.Flts[i]
+			default:
+				return 0
+			}
+		}
+	case *expr.Const:
+		var f float64
+		switch v.Typ {
+		case storage.Int64:
+			f = float64(v.I)
+		case storage.Float64:
+			f = v.F
+		default:
+			f = 0 // strings coerce to 0, as numAt does
+		}
+		return func(*expr.Batch, int) float64 { return f }
+	case *expr.Arith:
+		l, r := compileNum(v.Left), compileNum(v.Right)
+		if l == nil || r == nil {
+			return nil
+		}
+		switch v.Op {
+		case expr.Add:
+			return func(b *expr.Batch, i int) float64 { return l(b, i) + r(b, i) }
+		case expr.Sub:
+			return func(b *expr.Batch, i int) float64 { return l(b, i) - r(b, i) }
+		case expr.Mul:
+			return func(b *expr.Batch, i int) float64 { return l(b, i) * r(b, i) }
+		case expr.Div:
+			// Eval leaves the output at 0 when the divisor is 0; the left
+			// operand has no side effects, so skipping it is unobservable.
+			return func(b *expr.Batch, i int) float64 {
+				if c := r(b, i); c != 0 {
+					return l(b, i) / c
+				}
+				return 0
+			}
+		default:
+			return nil
+		}
+	default:
+		return nil
+	}
+}
+
+func resizeInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func resizeFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeString(s []string, n int) []string {
+	if cap(s) < n {
+		return make([]string, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,311 @@
+package exec
+
+import (
+	"sync"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/plan"
+	"t3/internal/engine/storage"
+)
+
+// execScratch holds the reusable buffers of one plan execution: batch
+// buffers, hash tables, selection vectors, materialized intermediates,
+// join/group build states, per-node counters, the pipeline decomposition, and
+// the runtime's node maps. Run checks one out of a process-wide pool and
+// returns it when done, so steady-state execution (the label-collection loop
+// in particular) reuses the same arenas run after run instead of reallocating
+// them per query.
+//
+// Every buffer is handed out through a cursor-based checkout: begin() resets
+// the cursors, and buffers handed out during a run stay checked out until the
+// run ends (pipeline states outlive their pipeline), so reuse happens across
+// runs, not within one. Morsel-parallel pipelines check out one additional
+// scratch per partition block for the duration of that pipeline.
+type execScratch struct {
+	sels    [][]bool
+	ns      int // selection vectors handed out this run
+	batches []*batchBuf
+	nb      int // batches handed out this run
+	tabs    []*hashTab
+	nt      int // tables handed out this run
+	mats    []*Materialized
+	nm      int // materialized buffers handed out this run
+	joins   []*joinState
+	nj      int // join states handed out this run
+	groups  []*groupState
+	ng      int // group states handed out this run
+	jparts  []*joinPartial
+	np      int // join partials handed out this run
+	ncs     []*nodeCount
+	nn      int // node counters handed out this run
+
+	perm  []int32
+	pipes plan.PipelineScratch
+
+	// states/counts back the runtime's per-node maps; cleared per run.
+	states map[*plan.Node]any
+	counts map[*plan.Node]*nodeCount
+}
+
+var scratchPool = sync.Pool{New: func() any { return &execScratch{} }}
+
+// begin resets the check-out cursors and node maps for a new run.
+func (s *execScratch) begin() {
+	s.ns, s.nb, s.nt, s.nm, s.nj, s.ng, s.np, s.nn = 0, 0, 0, 0, 0, 0, 0, 0
+	if s.states == nil {
+		s.states = make(map[*plan.Node]any)
+	} else {
+		clear(s.states)
+	}
+	if s.counts == nil {
+		s.counts = make(map[*plan.Node]*nodeCount)
+	} else {
+		clear(s.counts)
+	}
+}
+
+// selBuf hands out a selection vector of length n. Each checkout is a
+// distinct buffer (a scan and the filter stages it feeds hold theirs
+// simultaneously); capacity is retained across runs.
+func (s *execScratch) selBuf(n int) []bool {
+	if s.ns == len(s.sels) {
+		s.sels = append(s.sels, nil)
+	}
+	b := s.sels[s.ns]
+	if cap(b) < n {
+		b = make([]bool, n)
+		s.sels[s.ns] = b
+	}
+	s.ns++
+	return b[:n]
+}
+
+// batch hands out a reusable batch buffer shaped like the given columns
+// (data is not copied, only names and kinds).
+func (s *execScratch) batch(like []storage.Column) *batchBuf {
+	bb := s.nextBatch()
+	bb.shape(len(like), func(i int) (string, storage.Type) { return like[i].Name, like[i].Kind })
+	return bb
+}
+
+// batchMeta is batch for a plan schema.
+func (s *execScratch) batchMeta(schema []plan.ColMeta) *batchBuf {
+	bb := s.nextBatch()
+	bb.shape(len(schema), func(i int) (string, storage.Type) { return schema[i].Name, schema[i].Kind })
+	return bb
+}
+
+func (s *execScratch) nextBatch() *batchBuf {
+	var bb *batchBuf
+	if s.nb < len(s.batches) {
+		bb = s.batches[s.nb]
+	} else {
+		bb = &batchBuf{}
+		s.batches = append(s.batches, bb)
+	}
+	s.nb++
+	return bb
+}
+
+// table hands out a reusable hash table presized for `expected` entries.
+func (s *execScratch) table(expected int) *hashTab {
+	var t *hashTab
+	if s.nt < len(s.tabs) {
+		t = s.tabs[s.nt]
+	} else {
+		t = &hashTab{}
+		s.tabs = append(s.tabs, t)
+	}
+	s.nt++
+	t.reset(expected)
+	return t
+}
+
+// mat hands out a reusable materialized buffer shaped to the schema, emptied.
+func (s *execScratch) mat(schema []plan.ColMeta) *Materialized {
+	var m *Materialized
+	if s.nm < len(s.mats) {
+		m = s.mats[s.nm]
+	} else {
+		m = &Materialized{}
+		s.mats = append(s.mats, m)
+	}
+	s.nm++
+	matShape(m, schema)
+	return m
+}
+
+// joinState hands out a recycled join build state; the caller shapes it.
+func (s *execScratch) joinState() *joinState {
+	var st *joinState
+	if s.nj < len(s.joins) {
+		st = s.joins[s.nj]
+	} else {
+		st = &joinState{}
+		s.joins = append(s.joins, st)
+	}
+	s.nj++
+	return st
+}
+
+// groupState hands out a recycled group-by build state; the caller shapes it.
+func (s *execScratch) groupState() *groupState {
+	var st *groupState
+	if s.ng < len(s.groups) {
+		st = s.groups[s.ng]
+	} else {
+		st = &groupState{}
+		s.groups = append(s.groups, st)
+	}
+	s.ng++
+	return st
+}
+
+// joinPartial hands out a recycled per-partition join build buffer.
+func (s *execScratch) joinPart() *joinPartial {
+	var p *joinPartial
+	if s.np < len(s.jparts) {
+		p = s.jparts[s.np]
+	} else {
+		p = &joinPartial{}
+		s.jparts = append(s.jparts, p)
+	}
+	s.np++
+	return p
+}
+
+// nodeCount hands out a zeroed per-node counter. Table scans get per-predicate
+// counter slices sized to their predicate count.
+func (s *execScratch) nodeCount(n *plan.Node) *nodeCount {
+	var c *nodeCount
+	if s.nn < len(s.ncs) {
+		c = s.ncs[s.nn]
+	} else {
+		c = &nodeCount{}
+		s.ncs = append(s.ncs, c)
+	}
+	s.nn++
+	c.out = 0
+	if n.Op == plan.TableScanOp {
+		c.predEval = zeroInt64(c.predEval, len(n.Predicates))
+		c.predPass = zeroInt64(c.predPass, len(n.Predicates))
+	} else {
+		c.predEval = c.predEval[:0]
+		c.predPass = c.predPass[:0]
+	}
+	return c
+}
+
+// permBuf hands out the sort permutation buffer, resized to n. Only one sort
+// finalize runs at a time (finalizers run on the pipeline driver), so a
+// single buffer per scratch suffices.
+func (s *execScratch) permBuf(n int) []int32 {
+	if cap(s.perm) < n {
+		s.perm = make([]int32, n)
+	}
+	return s.perm[:n]
+}
+
+// zeroInt64 returns s resized to n with every element zeroed.
+func zeroInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// matShape configures a reusable Materialized for the schema, truncating
+// every retained column to zero rows.
+func matShape(m *Materialized, schema []plan.ColMeta) {
+	if cap(m.Cols) < len(schema) {
+		cols := make([]storage.Column, len(schema))
+		copy(cols, m.Cols)
+		m.Cols = cols
+	}
+	m.Cols = m.Cols[:len(schema)]
+	for i := range m.Cols {
+		c := &m.Cols[i]
+		c.Name, c.Kind = schema[i].Name, schema[i].Kind
+		c.Ints, c.Flts, c.Strs, c.Nulls = c.Ints[:0], c.Flts[:0], c.Strs[:0], nil
+	}
+	m.N = 0
+}
+
+// shapeCols resizes a retained column slice to n columns, truncating each to
+// zero rows while keeping backing arrays. Callers set names and kinds.
+func shapeCols(cols []storage.Column, n int) []storage.Column {
+	if cap(cols) < n {
+		next := make([]storage.Column, n)
+		copy(next, cols)
+		cols = next
+	}
+	cols = cols[:n]
+	for i := range cols {
+		c := &cols[i]
+		c.Ints, c.Flts, c.Strs, c.Nulls = c.Ints[:0], c.Flts[:0], c.Strs[:0], nil
+	}
+	return cols
+}
+
+// appendCol bulk-appends all rows of src to dst (same kind).
+func appendCol(dst, src *storage.Column) {
+	switch src.Kind {
+	case storage.Int64:
+		dst.Ints = append(dst.Ints, src.Ints...)
+	case storage.Float64:
+		dst.Flts = append(dst.Flts, src.Flts...)
+	case storage.String:
+		dst.Strs = append(dst.Strs, src.Strs...)
+	}
+}
+
+// batchBuf is a reusable batch buffer. The retained columns in cols own the
+// backing arrays; callers truncate and append into cols, then call attach to
+// publish the filled columns into the batch handed downstream. Downstream
+// stages may shrink or replace b.Cols freely — the next refill starts from
+// the retained cols again.
+type batchBuf struct {
+	b    expr.Batch
+	cols []storage.Column
+}
+
+// shape configures the buffer's column count, names, and kinds, retaining
+// backing arrays from previous uses.
+func (bb *batchBuf) shape(n int, meta func(i int) (string, storage.Type)) {
+	if cap(bb.cols) < n {
+		cols := make([]storage.Column, n)
+		copy(cols, bb.cols)
+		bb.cols = cols
+	}
+	bb.cols = bb.cols[:n]
+	for i := range bb.cols {
+		c := &bb.cols[i]
+		c.Name, c.Kind = meta(i)
+	}
+	bb.truncate()
+}
+
+// truncate resets every retained column to zero rows.
+func (bb *batchBuf) truncate() {
+	for i := range bb.cols {
+		c := &bb.cols[i]
+		c.Ints = c.Ints[:0]
+		c.Flts = c.Flts[:0]
+		c.Strs = c.Strs[:0]
+		c.Nulls = nil
+	}
+	bb.b.N = 0
+}
+
+// attach publishes the retained columns (filled by the caller) as the
+// batch's columns with n rows. Must be called after every refill, because
+// appends into cols may have reallocated backing arrays.
+func (bb *batchBuf) attach(n int) *expr.Batch {
+	bb.b.Cols = append(bb.b.Cols[:0], bb.cols...)
+	bb.b.N = n
+	return &bb.b
+}

@@ -142,4 +142,17 @@ var (
 	// ExecTuples counts source tuples pushed into pipelines.
 	ExecTuples = Default.NewCounter("t3_exec_tuples_total",
 		"Source tuples pushed through executed pipelines.")
+	// ExecParallelPipelines counts pipelines executed morsel-parallel.
+	ExecParallelPipelines = Default.NewCounter("t3_exec_parallel_pipelines_total",
+		"Pipelines executed with morsel-driven parallelism.")
+	// ExecMorsels counts source partitions dispatched to the worker pool.
+	ExecMorsels = Default.NewCounter("t3_exec_morsels_total",
+		"Morsel partitions dispatched by parallel pipelines.")
+	// ExecPartitionTime is the wall time of one morsel partition (scan
+	// through partial build), across all workers.
+	ExecPartitionTime = Default.NewHistogram("t3_exec_partition_seconds",
+		"Wall time per morsel partition of a parallel pipeline.", UnitNanoseconds)
+	// ExecMergeTime is the driver-side ordered merge of partition partials.
+	ExecMergeTime = Default.NewHistogram("t3_exec_merge_seconds",
+		"Wall time merging partition partials of a parallel pipeline.", UnitNanoseconds)
 )

@@ -25,6 +25,12 @@ type Label struct {
 	Pipelines []*plan.Pipeline
 	// SourceRows[p] is the number of tuples scanned at pipeline p's source.
 	SourceRows []int
+	// Parallelism[p] is the morsel-parallelism degree pipeline p ran with in
+	// the analyze run (1 = serial). It describes how the label was measured,
+	// so featurization can learn parallel execution; it is deliberately part
+	// of neither StableBytes nor Bytes, because it varies with the worker
+	// count while the labels themselves must not.
+	Parallelism []int
 	// PipelineRuns[r][p] is the measured time of pipeline p in timing run r.
 	PipelineRuns [][]time.Duration
 	// Totals[r] is the summed pipeline time of timing run r.
@@ -43,8 +49,17 @@ type LabelSet struct {
 
 // CollectConfig controls parallel label collection.
 type CollectConfig struct {
-	// Workers is the number of collection workers (0 = GOMAXPROCS).
+	// Workers is the number of collection workers (0 = GOMAXPROCS). Unless
+	// IntraWorkers overrides it, the same degree is used for morsel-driven
+	// parallelism inside each query's pipelines, over the same shared pool.
 	Workers int
+	// IntraWorkers overrides the intra-query (morsel) parallelism degree:
+	// < 0 disables intra-query parallelism, 0 inherits Workers, > 0 sets the
+	// degree explicitly.
+	IntraWorkers int
+	// MorselRows overrides exec.DefaultMorselRows when > 0 (tests shrink it
+	// to force morsel-parallel pipelines on small instances).
+	MorselRows int
 	// Runs is the number of timing runs per query after the analyze run
 	// (default 1).
 	Runs int
@@ -63,10 +78,15 @@ type CollectConfig struct {
 // CollectLabels generates the instance's workload and executes every query —
 // one analyze run to annotate true cardinalities, then cfg.Runs timing runs —
 // fanning independent queries out across a fixed worker set. Each worker owns
-// its own executor state, and every query's plan is generated from a seed
-// that depends only on the query's position, so for a fixed (instance, cfg
-// minus Workers) the collected label set is byte-stable (see StableBytes) for
-// ANY worker count: parallelism changes wall-clock time, never the data.
+// its own executor state (with Reuse set, so the steady-state loop recycles
+// plan/exec scratch and result buffers across queries), and big pipelines
+// additionally run morsel-parallel over the same pool. Every query's plan is
+// generated from a seed that depends only on the query's position, and the
+// executor's ordered partition merges make parallel results equal serial
+// ones, so for a fixed (instance, cfg minus Workers/IntraWorkers/MorselRows)
+// the collected label set is byte-stable (see StableBytes) for ANY worker
+// count — inter- or intra-query: parallelism changes wall-clock time, never
+// the data.
 func CollectLabels(inst *Instance, cfg CollectConfig) (*LabelSet, error) {
 	if cfg.Runs < 1 {
 		cfg.Runs = 1
@@ -83,12 +103,31 @@ func CollectLabels(inst *Instance, cfg CollectConfig) (*LabelSet, error) {
 
 	qs := GenerateQueries(inst, GenConfig{PerGroup: cfg.PerGroup, Seed: cfg.Seed})
 	pool := par.Sized(cfg.Workers)
+	intra := cfg.IntraWorkers
+	switch {
+	case intra < 0:
+		intra = 1
+	case intra == 0:
+		intra = pool.Workers()
+	}
 	out := make([]*Label, len(qs))
 	errs := make([]error, len(qs))
 
 	start := time.Now()
+	// One pool serves both levels: DoState fans queries out across it, and
+	// each worker's executor splits big pipelines into morsels over the same
+	// pool. The pool's caller-runs overflow policy keeps that safe — when all
+	// workers are busy with queries, morsels just run inline.
 	par.DoState(pool, len(qs),
-		func() *exec.Executor { return &exec.Executor{BatchSize: cfg.BatchSize} },
+		func() *exec.Executor {
+			return &exec.Executor{
+				BatchSize:  cfg.BatchSize,
+				Workers:    intra,
+				MorselRows: cfg.MorselRows,
+				Pool:       pool,
+				Reuse:      true,
+			}
+		},
 		func(ex *exec.Executor, i int) {
 			q := qs[i]
 			qStart := time.Now()
@@ -106,6 +145,7 @@ func CollectLabels(inst *Instance, cfg CollectConfig) (*LabelSet, error) {
 			}
 			for _, pt := range res.Pipelines {
 				l.SourceRows = append(l.SourceRows, pt.SourceRows)
+				l.Parallelism = append(l.Parallelism, pt.Parallelism)
 			}
 			for r := 0; r < cfg.Runs; r++ {
 				res, err := run(ex, q.Root, false)

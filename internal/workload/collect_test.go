@@ -2,6 +2,8 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -161,12 +163,68 @@ type collectTestError struct{}
 
 func (*collectTestError) Error() string { return "injected failure" }
 
+// TestCollectLabelsIntraParallelDeterministic forces morsel-parallel
+// pipelines with a tiny morsel size and asserts the label-set fingerprint is
+// still byte-identical for every combination of inter- and intra-query
+// parallelism — the contract that lets `-workers` mean both levels at once.
+func TestCollectLabelsIntraParallelDeterministic(t *testing.T) {
+	in := collectInstance(t)
+	var ref []byte
+	for _, cfg := range []CollectConfig{
+		{Workers: 1, IntraWorkers: -1},           // fully serial baseline
+		{Workers: 1, IntraWorkers: 4, MorselRows: 64}, // intra only
+		{Workers: 4, IntraWorkers: -1},           // inter only
+		{Workers: 4, MorselRows: 64},             // both, intra inherits workers
+		{Workers: 2, IntraWorkers: 3, MorselRows: 32},
+	} {
+		cfg.Runs = 1
+		cfg.PerGroup = 2
+		cfg.Seed = 7
+		ls, err := CollectLabels(in, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		b := ls.StableBytes()
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(b, ref) {
+			t.Fatalf("%+v: stable bytes differ from serial baseline", cfg)
+		}
+	}
+	// With a shrunken morsel, at least one pipeline should actually have run
+	// parallel — otherwise this test proves nothing.
+	ls, err := CollectLabels(in, CollectConfig{
+		Workers: 4, MorselRows: 64, Runs: 1, PerGroup: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawParallel := false
+	for _, l := range ls.Labels {
+		for _, par := range l.Parallelism {
+			if par > 1 {
+				sawParallel = true
+			}
+		}
+	}
+	if !sawParallel {
+		t.Fatal("no pipeline ran morsel-parallel despite MorselRows=64")
+	}
+}
+
 // BenchmarkLabelCollect measures end-to-end label-collection throughput at
-// several worker counts over the same instance and workload.
+// several worker counts over the same instance and workload. Worker counts
+// above GOMAXPROCS are skipped: they cannot add parallelism, only queueing.
 func BenchmarkLabelCollect(b *testing.B) {
 	in := MustGenerate(TPCHSpec("tpch_bench", 0.01, 42))
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(benchName(workers), func(b *testing.B) {
+	maxp := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		if workers > maxp && workers > 4 {
+			continue
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var queries int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -178,16 +236,5 @@ func BenchmarkLabelCollect(b *testing.B) {
 			}
 			b.ReportMetric(float64(queries*b.N)/b.Elapsed().Seconds(), "queries/s")
 		})
-	}
-}
-
-func benchName(workers int) string {
-	switch workers {
-	case 1:
-		return "workers=1"
-	case 2:
-		return "workers=2"
-	default:
-		return "workers=4"
 	}
 }

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestCollectLabelsScaling asserts that parallel collection actually scales:
+// workers=4 must beat workers=1 by a configurable margin. Wall-clock scaling
+// is meaningless on starved machines, so the test only arms itself when
+// T3_SCALING_ASSERT is set AND at least 4 CPUs are available; otherwise it
+// skips with an explanation. CI sets the variable on its 4-vCPU runners.
+// T3_SCALING_MIN overrides the required speedup (default 2.5, the roadmap
+// target; CI uses a safer 1.5 to tolerate noisy shared runners).
+func TestCollectLabelsScaling(t *testing.T) {
+	if os.Getenv("T3_SCALING_ASSERT") == "" {
+		t.Skip("scaling assertion disabled (set T3_SCALING_ASSERT=1 to enable)")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		t.Skipf("scaling assertion needs >= 4 CPUs, have %d", p)
+	}
+	minSpeedup := 2.5
+	if s := os.Getenv("T3_SCALING_MIN"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad T3_SCALING_MIN %q: %v", s, err)
+		}
+		minSpeedup = v
+	}
+
+	in := MustGenerate(TPCHSpec("tpch_scaling", 0.01, 42))
+	collect := func(workers int) time.Duration {
+		// Best of three: scaling claims should not hinge on one noisy run.
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			ls, err := CollectLabels(in, CollectConfig{Workers: workers, Runs: 1, PerGroup: 2, Seed: 7})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if ls.Elapsed < best {
+				best = ls.Elapsed
+			}
+		}
+		return best
+	}
+	// Warm caches and the scratch pool before timing anything.
+	collect(1)
+
+	serial := collect(1)
+	parallel := collect(4)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("workers=1 %v, workers=4 %v, speedup %.2fx (floor %.2fx)", serial, parallel, speedup, minSpeedup)
+	if speedup < minSpeedup {
+		t.Fatalf("workers=4 speedup %.2fx below required %.2fx (serial %v, parallel %v)",
+			speedup, minSpeedup, serial, parallel)
+	}
+}

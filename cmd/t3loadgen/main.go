@@ -25,8 +25,12 @@
 // arrivals (a worker that falls behind its schedule fires immediately,
 // so the achieved rate can sag below R when the server saturates).
 //
-// Results are printed as an indented JSON object; -out appends the same
-// object as one JSON line, so repeated runs accumulate a record set.
+// Results are printed as an indented JSON object; -out appends one JSON
+// line per run in the shared t3/metrics-snapshot/v1 schema (the same shape
+// t3predict/t3bench -json and t3serve /metrics.json emit): the run record
+// under "run", the generator's own latency metrics under "metrics". Records
+// from repeated runs therefore diff uniformly against server-side
+// snapshots captured next to them (see scripts/bench_serve.sh).
 package main
 
 import (
@@ -49,6 +53,20 @@ import (
 	"t3/internal/wire"
 	"t3/internal/workload"
 )
+
+// snapshotOut is the t3/metrics-snapshot/v1 envelope written to -out: one
+// run record plus the client-side metric registry. Flattened run fields
+// (name, qps, errors, ...) stay on one JSON line per run, so existing
+// grep/sed consumers keep working.
+type snapshotOut struct {
+	Schema  string       `json:"schema"`
+	Name    string       `json:"name"`
+	Run     result       `json:"run"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// snapshotSchema identifies the shared snapshot schema version.
+const snapshotSchema = "t3/metrics-snapshot/v1"
 
 // result is the JSON record of one load-generation run.
 type result struct {
@@ -216,11 +234,22 @@ func main() {
 		}
 	}
 
+	// Client-side metrics live in their own registry (not obs.Default) so
+	// the snapshot written to -out holds exactly the generator's view:
+	// latency as observed through the protocol stack, plus run totals.
+	reg := obs.NewRegistry()
 	var (
 		requests atomic.Int64
 		errs     atomic.Int64
-		hist     = obs.NewHistogram("loadgen_latency_seconds", "request latency", obs.UnitNanoseconds)
-		wg       sync.WaitGroup
+		hist     = reg.NewHistogram("t3_loadgen_latency_seconds",
+			"Client-observed request latency.", obs.UnitNanoseconds)
+		lgRequests = reg.NewCounter("t3_loadgen_requests_total",
+			"Requests measured (after warm-up).")
+		lgErrors = reg.NewCounter("t3_loadgen_errors_total",
+			"Requests that failed.")
+		lgQPS = reg.NewGauge("t3_loadgen_qps",
+			"Achieved throughput of the run.")
+		wg sync.WaitGroup
 	)
 	measureFrom := time.Now().Add(*warmup)
 	deadline := measureFrom.Add(*duration)
@@ -293,7 +322,15 @@ func main() {
 	_ = enc.Encode(res)
 
 	if *out != "" {
-		line, _ := json.Marshal(res)
+		lgRequests.Add(uint64(res.Requests))
+		lgErrors.Add(uint64(res.Errors))
+		lgQPS.Set(res.QPS)
+		line, _ := json.Marshal(snapshotOut{
+			Schema:  snapshotSchema,
+			Name:    res.Name,
+			Run:     res,
+			Metrics: reg.Snapshot(),
+		})
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "opening -out:", err)

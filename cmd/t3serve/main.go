@@ -8,6 +8,8 @@
 //	t3serve [-addr :8080] [-tcp :8091] [-model models/t3_default.json]
 //	        [-cache 65536] [-coalesce-batch 64] [-coalesce-wait 20us]
 //	        [-workers 0] [-log text|json]
+//	        [-drift-tick 5s] [-drift-window 12] [-drift-threshold 2.0]
+//	        [-drift-quantile 0.9]
 //
 // Endpoints:
 //
@@ -31,6 +33,14 @@
 //	GET  /healthz            liveness probe.
 //	GET  /debug/vars         expvar, including the metrics snapshot.
 //	GET  /debug/pprof/       net/http/pprof profiles.
+//	GET  /debug/queries      the flight recorder: recent traced queries with
+//	                         per-stage span timelines (?n= caps the count).
+//	GET  /debug/worst        worst mispredictions by q-error, each with a
+//	                         replayable wire frame (/debug/worst/frame?rank=N
+//	                         downloads the raw frame; POST it to /predict.bin
+//	                         to reproduce the prediction).
+//	GET  /debug/drift        windowed vs lifetime q-error quantiles and the
+//	                         drift alarm state (see -drift-* flags).
 //
 // With -tcp the same binary wire protocol is served on a raw TCP listener:
 // any number of length-prefixed request frames per connection, one response
@@ -64,8 +74,10 @@ import (
 
 	"t3"
 	"t3/internal/obs"
+	"t3/internal/obs/trace"
 	"t3/internal/planio"
 	"t3/internal/serve"
+	"t3/internal/wire"
 )
 
 // HTTP serving metrics, alongside the built-in T3 metrics on obs.Default.
@@ -88,6 +100,7 @@ type server struct {
 	modelPath string
 	reloadMu  sync.Mutex
 	log       *slog.Logger
+	drift     *trace.Detector
 }
 
 func (s *server) model() *t3.Model { return s.core.Model() }
@@ -172,8 +185,23 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		actual = time.Duration(ns)
-		predicted, _ = m.PredictPlan(root, mode)
-		q = t3.RecordObserved(predicted, actual)
+		// Client-reported rounds carry real execution times, so they are
+		// always traced (ForceBegin bypasses sampling) on top of scoring
+		// the drift histogram and the exemplar store (/debug/worst).
+		tr := trace.Default.ForceBegin(trace.KindRun, uint8(mode))
+		var ps t3.PredictScratch
+		ps.AttachTrace(tr)
+		predicted, _ = m.PredictPlanScratch(root, mode, &ps)
+		q = t3.RecordObservedPlan(root, mode, predicted, actual)
+		if tr != nil {
+			tr.Fingerprint = trace.KeyFingerprint(wire.PlanKey(root, mode))
+			tr.PredictedNs = predicted.Nanoseconds()
+			tr.ActualNs = actual.Nanoseconds()
+			if qm := q * 1000; qm >= 0 && qm < 1e18 {
+				tr.QErrorMilli = uint64(qm)
+			}
+			trace.Default.Publish(tr)
+		}
 	} else if predicted, actual, q, err = m.PredictAndRun(root, mode); err != nil {
 		httpError(w, http.StatusUnprocessableEntity,
 			err.Error()+" (plans decoded from JSON carry no data; pass ?actual_ns=N with the measured time instead)")
@@ -272,6 +300,11 @@ func main() {
 		coalesceWait  = flag.Duration("coalesce-wait", 20*time.Microsecond, "max coalescing window wait (0 disables coalescing)")
 		logFormat     = flag.String("log", "text", "log format: text|json")
 		verbose       = flag.Bool("v", false, "debug logging (per-request access logs)")
+
+		driftTick      = flag.Duration("drift-tick", 5*time.Second, "drift detector epoch period")
+		driftWindow    = flag.Int("drift-window", 12, "drift window size in epochs (span = (epochs-1) x tick)")
+		driftThreshold = flag.Float64("drift-threshold", 2.0, "windowed q-error quantile that raises t3_drift_alarm")
+		driftQuantile  = flag.Float64("drift-quantile", 0.9, "watched q-error quantile")
 	)
 	flag.Parse()
 	logger := obs.SetupLogging(os.Stderr, *logFormat, *verbose)
@@ -293,7 +326,21 @@ func main() {
 		cfg.NoCoalesce = true
 	}
 	core := serve.New(model, cfg)
-	s := &server{core: core, modelPath: *modelPath, log: logger}
+	drift := trace.NewQErrorDetector(trace.DetectorConfig{
+		Epochs:    *driftWindow,
+		Quantile:  *driftQuantile,
+		Threshold: *driftThreshold,
+	})
+	drift.OnAlarm(func(ev trace.DriftEvent) {
+		if ev.Raised {
+			logger.Warn("drift alarm raised", "qerror", ev.Quantile,
+				"threshold", ev.Threshold, "window_observations", ev.Count)
+		} else {
+			logger.Info("drift alarm cleared", "qerror", ev.Quantile,
+				"window_observations", ev.Count)
+		}
+	})
+	s := &server{core: core, modelPath: *modelPath, log: logger, drift: drift}
 
 	// The metrics snapshot doubles as an expvar, so stock expvar tooling
 	// (and /debug/vars) sees the same numbers as /metrics.
@@ -310,9 +357,17 @@ func main() {
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = io.WriteString(w, "ok\n")
 	})
+	http.HandleFunc("/debug/queries", instrument(logger, "debug.queries", handleDebugQueries))
+	http.HandleFunc("/debug/worst", instrument(logger, "debug.worst", handleDebugWorst))
+	http.HandleFunc("/debug/worst/frame", instrument(logger, "debug.worst.frame", handleDebugWorstFrame))
+	http.HandleFunc("/debug/drift", instrument(logger, "debug.drift", s.handleDebugDrift))
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Drift detection runs for the life of the process; ctx.Done doubles as
+	// its stop signal during shutdown.
+	go drift.Run(*driftTick, ctx.Done())
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -79,6 +79,9 @@ type PipelineTiming struct {
 	Morsels int
 	// Duration is the wall-clock execution time of the pipeline.
 	Duration time.Duration
+	// Merge is the driver-side ordered merge of partition partials, already
+	// included in Duration (0 for serially executed pipelines).
+	Merge time.Duration
 }
 
 // Materialized holds a fully materialized tuple stream.
@@ -183,6 +186,7 @@ func (e *Executor) Run(root *plan.Node, annotate bool) (*RunResult, error) {
 			Parallelism: rt.lastPar,
 			Morsels:     rt.lastMorsels,
 			Duration:    d,
+			Merge:       rt.lastMerge,
 		})
 		res.Total += d
 		obs.ExecPipelines.Inc()
@@ -250,8 +254,10 @@ type runtime struct {
 	// resultBuf, when set, is reused as the output Materialized (Reuse mode).
 	resultBuf *Materialized
 
-	// lastPar/lastMorsels describe the most recent runPipeline call.
+	// lastPar/lastMorsels/lastMerge describe the most recent runPipeline
+	// call.
 	lastPar, lastMorsels int
+	lastMerge            time.Duration
 }
 
 func (rt *runtime) count(n *plan.Node) *nodeCount {
@@ -310,7 +316,7 @@ type pushFn func(b *expr.Batch)
 // scanned.
 func (rt *runtime) runPipeline(p *plan.Pipeline, root *plan.Node) (int, error) {
 	rt.stop = false
-	rt.lastPar, rt.lastMorsels = 1, 1
+	rt.lastPar, rt.lastMorsels, rt.lastMerge = 1, 1, 0
 
 	if parts, rows, srcMat, ok := rt.parallelism(p); ok {
 		return rt.runPipelineParallel(p, root, parts, rows, srcMat)

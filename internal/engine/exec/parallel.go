@@ -263,6 +263,7 @@ func (rt *runtime) runPipelineParallel(p *plan.Pipeline, root *plan.Node, parts,
 			rt.count(buildNode).out = int64(bufMat.N)
 		}
 	}
-	obs.ExecMergeTime.Since(mergeStart)
+	rt.lastMerge = time.Since(mergeStart)
+	obs.ExecMergeTime.Observe(rt.lastMerge)
 	return rows, nil
 }

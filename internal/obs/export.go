@@ -15,6 +15,7 @@ import (
 // cumulatively; empty buckets are elided (the +Inf bucket is always
 // present), keeping the payload proportional to the observed value range.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runExportHooks()
 	counters, gauges, hists := r.metrics()
 	for _, c := range counters {
 		writeHeader(w, c.name, c.help, "counter")
@@ -24,7 +25,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, g := range gauges {
 		writeHeader(w, g.name, g.help, "gauge")
-		if _, err := fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n", g.sampleName(), formatFloat(g.Value())); err != nil {
 			return err
 		}
 	}
@@ -52,9 +53,71 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func writeHeader(w io.Writer, name, help, typ string) {
 	if help != "" {
-		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// escapeHelp escapes a HELP string per the text exposition format:
+// backslash and newline must be escaped so the comment stays one line.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote, and
+// newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// renderLabels renders constant labels as a `{k="v",...}` sample suffix.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
 }
 
 // bucketUpper returns the exclusive raw upper bound of bucket i.
@@ -96,6 +159,7 @@ type HistogramSummary struct {
 
 // Snapshot captures every registered metric.
 func (r *Registry) Snapshot() Snapshot {
+	r.runExportHooks()
 	counters, gauges, hists := r.metrics()
 	snap := Snapshot{
 		Counters:   make(map[string]uint64, len(counters)),
@@ -110,7 +174,7 @@ func (r *Registry) Snapshot() Snapshot {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			v = 0
 		}
-		snap.Gauges[g.name] = v
+		snap.Gauges[g.sampleName()] = v
 	}
 	for _, h := range hists {
 		s := h.Snapshot()
@@ -143,6 +207,7 @@ func (r *Registry) Snapshot() Snapshot {
 // print as durations; everything else prints as plain numbers. Metrics
 // that never fired are elided.
 func (r *Registry) DumpText() string {
+	r.runExportHooks()
 	counters, gauges, hists := r.metrics()
 	var sb strings.Builder
 	var lines []string
@@ -158,7 +223,7 @@ func (r *Registry) DumpText() string {
 	}
 	for _, g := range gauges {
 		if v := g.Value(); v != 0 {
-			lines = append(lines, fmt.Sprintf("  %-40s %.6g", g.name, v))
+			lines = append(lines, fmt.Sprintf("  %-40s %.6g", g.sampleName(), v))
 		}
 	}
 	if len(lines) > 0 {

@@ -1,0 +1,433 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry holding every metric kind the exposition
+// writer handles: counters (with and without HELP), a plain gauge, a labeled
+// gauge whose help and label values need escaping, histograms in every unit,
+// and a histogram that never observed anything.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.NewCounter("golden_requests_total", "Requests served.").Add(42)
+	r.NewCounter("golden_untouched_total", "")
+	r.NewGauge("golden_queue_depth", "Items queued; negative when draining.").Set(-3.5)
+	r.NewLabeledGauge("golden_build_info",
+		"Build metadata with a \\ backslash and a\nnewline in its help.",
+		Label{Name: "version", Value: "v1.2.3\"dev\\build\n"},
+		Label{Name: "goos", Value: "linux"},
+	).Set(1)
+	lat := r.NewHistogram("golden_latency_seconds", "Request latency.", UnitNanoseconds)
+	for _, d := range []time.Duration{100, 1500, 1500, 3000, 1 << 20} {
+		lat.Observe(d)
+	}
+	q := r.NewHistogram("golden_qerror", "Prediction q-error ratios.", UnitMilli)
+	q.ObserveFloat(1.25)
+	q.ObserveFloat(8)
+	r.NewHistogram("golden_idle_seconds", "Never observed.", UnitNanoseconds)
+	return r
+}
+
+// TestPrometheusGolden locks the text exposition byte-for-byte. Regenerate
+// with: go test ./internal/obs -run PrometheusGolden -update
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition diverged from %s (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestPrometheusFormatLint runs the structural linter over the golden
+// registry's exposition.
+func TestPrometheusFormatLint(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range lintPrometheus(sb.String()) {
+		t.Error(e)
+	}
+}
+
+// TestDefaultRegistryExpositionLints lints the live process registry —
+// every metric any package registered at init, with export hooks (runtime
+// stats, build info) applied — so a malformed production metric name or
+// label fails here, not in a scrape.
+func TestDefaultRegistryExpositionLints(t *testing.T) {
+	var sb strings.Builder
+	if err := Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "t3_build_info") {
+		t.Error("default exposition missing t3_build_info")
+	}
+	for _, e := range lintPrometheus(sb.String()) {
+		t.Error(e)
+	}
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// linter accumulates violations found in one exposition.
+type linter struct {
+	errs []string
+}
+
+func (l *linter) errorf(format string, args ...any) {
+	l.errs = append(l.errs, fmt.Sprintf(format, args...))
+}
+
+// histLint accumulates per-family histogram state while linting.
+type histLint struct {
+	prevLe   float64
+	prevCum  uint64
+	infSeen  bool
+	infVal   uint64
+	count    uint64
+	countSet bool
+}
+
+// lintPrometheus enforces the text exposition format (0.0.4) rules the
+// writer must uphold: metric/label name syntax, HELP immediately followed
+// by its TYPE, samples only after their family's TYPE, escaped HELP text
+// and label values, `le` strictly increasing with `+Inf` present and last,
+// cumulative bucket monotonicity, and `_count` == the `+Inf` bucket. It
+// returns one message per violation.
+func lintPrometheus(out string) []string {
+	l := &linter{}
+	if out == "" || !strings.HasSuffix(out, "\n") {
+		l.errorf("exposition must be newline-terminated, got %d bytes", len(out))
+		return l.errs
+	}
+	typeOf := make(map[string]string)
+	hists := make(map[string]*histLint)
+	var histNames []string
+	pendingHelp := ""
+	for ln, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		ln++
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.SplitN(line[len("# HELP "):], " ", 2)
+			name := rest[0]
+			if !metricNameRE.MatchString(name) {
+				l.errorf("line %d: bad metric name in HELP: %q", ln, name)
+			}
+			if len(rest) == 2 {
+				l.lintEscapes(ln, rest[1], false)
+			}
+			if pendingHelp != "" {
+				l.errorf("line %d: HELP %s while HELP %s still awaits its TYPE", ln, name, pendingHelp)
+			}
+			pendingHelp = name
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line[len("# TYPE "):])
+			if len(f) != 2 {
+				l.errorf("line %d: malformed TYPE: %q", ln, line)
+				continue
+			}
+			name, typ := f[0], f[1]
+			if !metricNameRE.MatchString(name) {
+				l.errorf("line %d: bad metric name in TYPE: %q", ln, name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				l.errorf("line %d: unknown type %q", ln, typ)
+			}
+			if pendingHelp != "" && pendingHelp != name {
+				l.errorf("line %d: HELP %s not immediately followed by its TYPE (got TYPE %s)", ln, pendingHelp, name)
+			}
+			pendingHelp = ""
+			if _, dup := typeOf[name]; dup {
+				l.errorf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			typeOf[name] = typ
+			if typ == "histogram" {
+				hists[name] = &histLint{prevLe: math.Inf(-1)}
+				histNames = append(histNames, name)
+			}
+		case strings.HasPrefix(line, "#"):
+			l.errorf("line %d: unknown comment form: %q", ln, line)
+		default:
+			if pendingHelp != "" {
+				l.errorf("line %d: sample before TYPE for pending HELP %s", ln, pendingHelp)
+				pendingHelp = ""
+			}
+			l.lintSample(ln, line, typeOf, hists)
+		}
+	}
+	if pendingHelp != "" {
+		l.errorf("trailing HELP %s with no TYPE", pendingHelp)
+	}
+	for _, name := range histNames {
+		h := hists[name]
+		if !h.infSeen {
+			l.errorf("histogram %s: no +Inf bucket", name)
+		}
+		if !h.countSet {
+			l.errorf("histogram %s: no _count sample", name)
+		} else if h.infSeen && h.infVal != h.count {
+			l.errorf("histogram %s: +Inf bucket %d != _count %d", name, h.infVal, h.count)
+		}
+	}
+	return l.errs
+}
+
+// lintSample checks one sample line against its family's declared type.
+func (l *linter) lintSample(ln int, line string, typeOf map[string]string, hists map[string]*histLint) {
+	name, labels, value, ok := splitSample(line)
+	if !ok {
+		l.errorf("line %d: malformed sample: %q", ln, line)
+		return
+	}
+	if !metricNameRE.MatchString(name) {
+		l.errorf("line %d: bad sample name %q", ln, name)
+		return
+	}
+	family, series := name, ""
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && typeOf[base] == "histogram" {
+			family, series = base, suf
+			break
+		}
+	}
+	typ, declared := typeOf[family]
+	if !declared {
+		l.errorf("line %d: sample %s has no preceding TYPE", ln, name)
+		return
+	}
+	lv := l.lintLabels(ln, labels)
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		l.errorf("line %d: unparseable value %q: %v", ln, value, err)
+		return
+	}
+	switch {
+	case typ == "counter":
+		if _, err := strconv.ParseUint(value, 10, 64); err != nil {
+			l.errorf("line %d: counter %s value %q not a non-negative integer", ln, name, value)
+		}
+	case typ == "histogram" && series == "_bucket":
+		h := hists[family]
+		le, present := lv["le"]
+		if !present {
+			l.errorf("line %d: %s bucket without le label", ln, family)
+			return
+		}
+		cum, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			l.errorf("line %d: bucket count %q not an integer", ln, value)
+			return
+		}
+		if h.infSeen {
+			l.errorf("line %d: %s bucket after +Inf", ln, family)
+		}
+		var bound float64
+		if le == "+Inf" {
+			bound = math.Inf(1)
+			h.infSeen = true
+			h.infVal = cum
+		} else if bound, err = strconv.ParseFloat(le, 64); err != nil {
+			l.errorf("line %d: unparseable le %q", ln, le)
+			return
+		}
+		if bound <= h.prevLe {
+			l.errorf("line %d: %s le %q not strictly increasing (prev %g)", ln, family, le, h.prevLe)
+		}
+		if cum < h.prevCum {
+			l.errorf("line %d: %s cumulative count regressed %d -> %d", ln, family, h.prevCum, cum)
+		}
+		h.prevLe, h.prevCum = bound, cum
+	case typ == "histogram" && series == "_count":
+		h := hists[family]
+		if h.countSet {
+			l.errorf("line %d: duplicate _count for %s", ln, family)
+		}
+		h.count, h.countSet = uint64(v), true
+	case typ == "histogram" && series == "_sum":
+		// Any finite float; ParseFloat above already vetted it.
+	case typ == "histogram":
+		l.errorf("line %d: bare sample %s for histogram family", ln, name)
+	}
+}
+
+// splitSample splits `name{labels} value` (labels optional) into parts.
+func splitSample(line string) (name, labels, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", false
+		}
+		name, labels, rest = line[:i], line[i+1:j], line[j+1:]
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		name, rest = line[:i], line[i:]
+	} else {
+		return "", "", "", false
+	}
+	value = strings.TrimSpace(rest)
+	if name == "" || value == "" || strings.ContainsAny(value, " \t") {
+		return "", "", "", false
+	}
+	return name, labels, value, true
+}
+
+// lintLabels parses a label body, checking name syntax, quoting, and value
+// escaping; it returns the decoded label map.
+func (l *linter) lintLabels(ln int, body string) map[string]string {
+	out := make(map[string]string)
+	for i := 0; i < len(body); {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			l.errorf("line %d: label pair without '=': %q", ln, body[i:])
+			return out
+		}
+		name := body[i : i+eq]
+		if !labelNameRE.MatchString(name) {
+			l.errorf("line %d: bad label name %q", ln, name)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			l.errorf("line %d: label %s value not quoted", ln, name)
+			return out
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					l.errorf("line %d: label %s: trailing backslash", ln, name)
+					return out
+				}
+				esc := body[i+1]
+				switch esc {
+				case '\\', '"':
+					val.WriteByte(esc)
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					l.errorf("line %d: label %s: invalid escape \\%c", ln, name, esc)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			l.errorf("line %d: label %s value unterminated", ln, name)
+			return out
+		}
+		out[name] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				l.errorf("line %d: expected ',' between labels, got %q", ln, body[i:])
+				return out
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// lintEscapes checks that HELP text (and, with quoted=true, label values)
+// contains no raw newline and only legal escape sequences.
+func (l *linter) lintEscapes(ln int, s string, quoted bool) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\n':
+			l.errorf("line %d: raw newline in text", ln)
+		case '\\':
+			if i+1 >= len(s) {
+				l.errorf("line %d: trailing backslash", ln)
+				return
+			}
+			next := s[i+1]
+			if next != '\\' && next != 'n' && !(quoted && next == '"') {
+				l.errorf("line %d: invalid escape \\%c", ln, next)
+			}
+			i++
+		case '"':
+			if quoted {
+				l.errorf("line %d: unescaped quote", ln)
+			}
+		}
+	}
+}
+
+// TestLintCatchesViolations feeds the linter hand-broken expositions to
+// prove each rule actually fires (a linter that accepts everything would
+// vacuously pass the tests above).
+func TestLintCatchesViolations(t *testing.T) {
+	bad := []struct {
+		name string
+		in   string
+	}{
+		{"help without type", "# HELP x_total Helpful.\nx_total 1\n"},
+		{"sample before type", "x_total 1\n"},
+		{"bad metric name", "# TYPE 9bad counter\n9bad 1\n"},
+		{"negative counter", "# TYPE x_total counter\nx_total -1\n"},
+		{"le out of order", "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"},
+		{"bucket regression", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"count mismatch", "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 5\n"},
+		{"unescaped label quote", "# TYPE g gauge\ng{v=\"a\"b\"} 1\n"},
+		{"invalid help escape", "# HELP x_total bad \\q escape\n# TYPE x_total counter\nx_total 1\n"},
+		{"bucket after inf", "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_bucket{le=\"9\"} 1\nh_sum 1\nh_count 1\n"},
+		{"missing count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if errs := lintPrometheus(tc.in); len(errs) == 0 {
+				t.Errorf("linter accepted broken exposition:\n%s", tc.in)
+			}
+		})
+	}
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if errs := lintPrometheus(sb.String()); len(errs) != 0 {
+		t.Errorf("linter rejected well-formed exposition: %v", errs)
+	}
+}

@@ -111,6 +111,30 @@ func (s *HistSnapshot) Merge(o HistSnapshot) {
 	s.Sum += o.Sum
 }
 
+// Sub subtracts an earlier snapshot of the same histogram from s, leaving
+// exactly the observations recorded between the two snapshot points — the
+// windowed view a ring of epoch snapshots is built from (see
+// internal/obs/trace.Window). Because per-bucket counts are monotone,
+// subtraction is exact; buckets are clamped at zero to tolerate snapshots
+// taken during concurrent recording, and Count is recomputed from the
+// buckets so the result stays internally consistent.
+func (s *HistSnapshot) Sub(o HistSnapshot) {
+	var count uint64
+	for i := range s.Counts {
+		if o.Counts[i] >= s.Counts[i] {
+			s.Counts[i] = 0
+		} else {
+			s.Counts[i] -= o.Counts[i]
+		}
+		count += s.Counts[i]
+	}
+	s.Count = count
+	s.Sum -= o.Sum
+	if s.Sum < 0 {
+		s.Sum = 0
+	}
+}
+
 // Mean returns the mean observation in export units (0 when empty).
 func (s *HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -118,6 +118,10 @@ var (
 	// ServeCacheInvalidations counts whole-cache invalidations (model swaps).
 	ServeCacheInvalidations = Default.NewCounter("t3_serve_cache_invalidations_total",
 		"Prediction-cache invalidations (model swaps).")
+	// ServeInflight is the number of requests currently being handled by
+	// the serving tier (HTTP handlers plus in-flight TCP wire requests).
+	ServeInflight = Default.NewGauge("t3_serve_inflight_requests",
+		"Requests currently being handled by the serving tier.")
 	// ServeCoalesceBatches counts coalesced dispatches into batched
 	// prediction.
 	ServeCoalesceBatches = Default.NewCounter("t3_serve_coalesce_batches_total",

@@ -59,21 +59,54 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Label is one constant metric label, attached at registration time (used
+// for info-style gauges like t3_build_info; high-cardinality labels are
+// deliberately unsupported).
+type Label struct{ Name, Value string }
+
 // Gauge is an atomically settable float64 value.
 type Gauge struct {
-	bits atomic.Uint64
-	name string
-	help string
+	bits   atomic.Uint64
+	name   string
+	help   string
+	labels string // pre-rendered {k="v",...} sample suffix, "" when unlabeled
 }
 
 // NewGauge creates an unregistered gauge (see Registry.NewGauge).
 func NewGauge(name, help string) *Gauge { return &Gauge{name: name, help: help} }
 
+// NewLabeledGauge creates an unregistered gauge whose samples carry the
+// given constant labels.
+func NewLabeledGauge(name, help string, labels ...Label) *Gauge {
+	return &Gauge{name: name, help: help, labels: renderLabels(labels)}
+}
+
 // Name returns the metric name.
 func (g *Gauge) Name() string { return g.name }
 
+// sampleName returns the exposition sample name: the metric name plus the
+// pre-rendered constant-label suffix.
+func (g *Gauge) sampleName() string { return g.name + g.labels }
+
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta — a CAS loop on the float bits, so concurrent
+// Add/Inc/Dec never lose updates.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
@@ -110,6 +143,7 @@ type Registry struct {
 	counters []*Counter
 	gauges   []*Gauge
 	hists    []*Histogram
+	onExport []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -135,6 +169,34 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	r.gauges = append(r.gauges, g)
 	r.mu.Unlock()
 	return g
+}
+
+// NewLabeledGauge creates and registers a gauge with constant labels.
+func (r *Registry) NewLabeledGauge(name, help string, labels ...Label) *Gauge {
+	g := NewLabeledGauge(name, help, labels...)
+	r.mu.Lock()
+	r.gauges = append(r.gauges, g)
+	r.mu.Unlock()
+	return g
+}
+
+// OnExport registers a hook that runs at the start of every export walk
+// (WritePrometheus, Snapshot, DumpText) — the place to refresh gauges that
+// sample process state, like the Go runtime stats.
+func (r *Registry) OnExport(fn func()) {
+	r.mu.Lock()
+	r.onExport = append(r.onExport, fn)
+	r.mu.Unlock()
+}
+
+// runExportHooks invokes the registered export hooks outside the lock.
+func (r *Registry) runExportHooks() {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.onExport...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // NewHistogram creates and registers a histogram. unit is one of the Unit*

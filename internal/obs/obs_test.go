@@ -272,3 +272,25 @@ func TestDumpText(t *testing.T) {
 		}
 	}
 }
+
+func TestGaugeConcurrentAddIncDec(t *testing.T) {
+	g := NewRegistry().NewGauge("t_concurrent_gauge", "")
+	const workers, rounds = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				g.Inc()
+				g.Add(0.5)
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	// Inc and Dec cancel; the CAS loop must not lose any of the 0.5 adds.
+	if want := float64(workers*rounds) * 0.5; g.Value() != want {
+		t.Errorf("gauge after concurrent Add/Inc/Dec = %v, want %v", g.Value(), want)
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// Go runtime stats, refreshed at export time via an OnExport hook so
+// /metrics is self-describing without a node-exporter sidecar. These are
+// gauges sampled when an exporter asks, not hot-path instrumentation:
+// ReadMemStats briefly stops the world, which is fine once per scrape and
+// unacceptable once per prediction.
+var (
+	// Goroutines is the live goroutine count at export time.
+	Goroutines = Default.NewGauge("t3_goroutines",
+		"Live goroutines at export time.")
+	// HeapAllocBytes is the in-use heap at export time.
+	HeapAllocBytes = Default.NewGauge("t3_heap_alloc_bytes",
+		"Heap bytes in use at export time.")
+	// GCPauseTotal is the cumulative stop-the-world GC pause time.
+	GCPauseTotal = Default.NewGauge("t3_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.")
+	// GCCycles is the number of completed GC cycles.
+	GCCycles = Default.NewGauge("t3_gc_cycles_total",
+		"Completed GC cycles.")
+	// GoMaxProcs is the scheduler's processor limit.
+	GoMaxProcs = Default.NewGauge("t3_gomaxprocs",
+		"GOMAXPROCS at export time.")
+	// BuildInfo is the conventional info-style gauge: constant 1, with the
+	// toolchain and platform carried as labels.
+	BuildInfo = Default.NewLabeledGauge("t3_build_info",
+		"Build information; constant 1.",
+		Label{Name: "go_version", Value: runtime.Version()},
+		Label{Name: "goos", Value: runtime.GOOS},
+		Label{Name: "goarch", Value: runtime.GOARCH},
+		Label{Name: "maxprocs", Value: strconv.Itoa(runtime.GOMAXPROCS(0))})
+)
+
+func init() {
+	BuildInfo.Set(1)
+	Default.OnExport(collectRuntime)
+}
+
+// collectRuntime refreshes the runtime gauges; it runs once per export.
+func collectRuntime() {
+	Goroutines.Set(float64(runtime.NumGoroutine()))
+	GoMaxProcs.Set(float64(runtime.GOMAXPROCS(0)))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	HeapAllocBytes.Set(float64(ms.HeapAlloc))
+	GCPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+	GCCycles.Set(float64(ms.NumGC))
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"t3/internal/obs"
+)
+
+// driftHarness drives a detector over a private q-error histogram with a
+// deterministic clock.
+type driftHarness struct {
+	h   *obs.Histogram
+	d   *Detector
+	now time.Time
+}
+
+func newDriftHarness(cfg DetectorConfig) *driftHarness {
+	h := obs.NewHistogram("t3_test_drift", "test", obs.UnitMilli)
+	return &driftHarness{h: h, d: NewDetector(h, cfg), now: time.Unix(10000, 0)}
+}
+
+// tick records n q-error observations of value q, then advances one epoch.
+func (dh *driftHarness) tick(n int, q float64) {
+	for i := 0; i < n; i++ {
+		dh.h.ObserveFloat(q)
+	}
+	dh.now = dh.now.Add(time.Second)
+	dh.d.Tick(dh.now)
+}
+
+func TestDriftDetectorFiresAndClears(t *testing.T) {
+	// Threshold 4 with the default clear (3.2): healthy q-errors around 2
+	// land safely below, drifted ones around 8 safely above, even at the
+	// histogram's one-octave resolution.
+	cfg := DetectorConfig{
+		Epochs: 4, Quantile: 0.9, Threshold: 4.0,
+		MinCount: 10, FireAfter: 2, ClearAfter: 2,
+	}
+	dh := newDriftHarness(cfg)
+
+	var events []DriftEvent
+	dh.d.OnAlarm(func(ev DriftEvent) { events = append(events, ev) })
+
+	// Healthy regime: three epochs of accurate predictions.
+	for i := 0; i < 3; i++ {
+		dh.tick(100, 1.8)
+		if st := dh.d.Status(); st.Raised {
+			t.Fatalf("alarm raised on healthy tick %d: %+v", i, st)
+		}
+	}
+
+	// Drift: two epochs dominated by 8x mispredictions. FireAfter=2 means
+	// the first bad tick arms, the second fires.
+	dh.tick(200, 8.0)
+	if dh.d.Status().Raised {
+		t.Fatal("alarm fired after one bad tick despite FireAfter=2")
+	}
+	dh.tick(200, 8.0)
+	st := dh.d.Status()
+	if !st.Raised {
+		t.Fatalf("alarm did not fire after two bad ticks: %+v", st)
+	}
+	if st.WindowQuantile <= cfg.Threshold {
+		t.Fatalf("fired with window quantile %v <= threshold", st.WindowQuantile)
+	}
+	if len(events) != 1 || !events[0].Raised {
+		t.Fatalf("events after fire: %+v", events)
+	}
+	if DriftAlarm.Value() != 1 {
+		t.Fatalf("t3_drift_alarm = %v after fire, want 1", DriftAlarm.Value())
+	}
+
+	// Recovery: healthy epochs. The drifted mass must first slide out of
+	// the 3-tick window, then ClearAfter=2 good ticks clear the alarm.
+	cleared := -1
+	for i := 0; i < 8; i++ {
+		dh.tick(400, 1.8)
+		if !dh.d.Status().Raised {
+			cleared = i
+			break
+		}
+	}
+	if cleared < 0 {
+		t.Fatalf("alarm never cleared during recovery: %+v", dh.d.Status())
+	}
+	if cleared < 2 {
+		t.Fatalf("alarm cleared after only %d healthy ticks; drifted mass was still in the window", cleared+1)
+	}
+	if len(events) != 2 || events[1].Raised {
+		t.Fatalf("events after clear: %+v", events)
+	}
+	if DriftAlarm.Value() != 0 {
+		t.Fatalf("t3_drift_alarm = %v after clear, want 0", DriftAlarm.Value())
+	}
+}
+
+func TestDriftDetectorHoldsOnSparseWindow(t *testing.T) {
+	cfg := DetectorConfig{
+		Epochs: 3, Quantile: 0.9, Threshold: 4.0,
+		MinCount: 50, FireAfter: 1, ClearAfter: 1,
+	}
+	dh := newDriftHarness(cfg)
+	// Terrible q-errors, but below MinCount per window: no alarm.
+	for i := 0; i < 6; i++ {
+		dh.tick(10, 100.0)
+		if dh.d.Status().Raised {
+			t.Fatalf("alarm fired on a %d-observation window with MinCount=%d",
+				dh.d.Status().WindowCount, cfg.MinCount)
+		}
+	}
+	// Same values at volume: fires immediately (FireAfter=1).
+	dh.tick(200, 100.0)
+	if !dh.d.Status().Raised {
+		t.Fatal("alarm did not fire once the window met MinCount")
+	}
+}
+
+func TestDriftDetectorDefaults(t *testing.T) {
+	d := NewQErrorDetector(DetectorConfig{})
+	st := d.Status()
+	c := d.cfg
+	if c.Epochs != 12 || c.Quantile != 0.9 || c.Threshold != 2.0 ||
+		c.Clear != 1.6 || c.MinCount != 20 || c.FireAfter != 2 || c.ClearAfter != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if st.Raised || st.Ticks != 0 {
+		t.Fatalf("fresh detector status = %+v", st)
+	}
+}
+
+func TestDriftDetectorRunStops(t *testing.T) {
+	d := NewQErrorDetector(DetectorConfig{Epochs: 2})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { d.Run(time.Millisecond, stop); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop")
+	}
+	if d.Status().Ticks == 0 {
+		t.Fatal("Run never ticked")
+	}
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"t3/internal/engine/plan"
+	"t3/internal/wire"
+)
+
+// Misprediction exemplars: the top-K worst predictions by q-error, each
+// captured as a complete binary request frame (internal/wire) so a bad
+// prediction can be replayed byte-for-byte against a running server or a
+// retrained model. Aggregates say HOW wrong the model is; exemplars say ON
+// WHAT — the difference between "p99 q-error is 3.1" and "we mispredict
+// 3-way hash-join plans with tiny build sides".
+
+// DefaultExemplars is how many worst predictions the default store keeps.
+const DefaultExemplars = 16
+
+// Exemplar is one captured misprediction.
+type Exemplar struct {
+	// Fingerprint identifies the plan (KeyFingerprint of its wire.Key).
+	Fingerprint uint64
+	// Mode is the plan.CardMode the prediction used.
+	Mode uint8
+	// QError is max(predicted/actual, actual/predicted).
+	QError float64
+	// PredictedNs and ActualNs are the prediction and the measurement.
+	PredictedNs int64
+	// ActualNs is the measured execution time.
+	ActualNs int64
+	// AtUnixNs is when the misprediction was observed.
+	AtUnixNs int64
+	// Frame is the complete wire request frame (header + plan payload):
+	// POST it to /predict.bin to replay the prediction.
+	Frame []byte
+}
+
+// ExemplarStore keeps the top-K offers by q-error, deduplicated by plan
+// fingerprint (a plan appears once, at its worst). Safe for concurrent
+// use; Offer rejects non-qualifying scores with one atomic load before
+// taking any lock or encoding anything.
+type ExemplarStore struct {
+	k     int
+	floor atomic.Uint64 // Float64bits of the lowest kept q-error; valid when full
+
+	mu      sync.Mutex
+	entries []Exemplar // sorted descending by QError
+}
+
+// NewExemplarStore builds a store keeping the k worst offers (minimum 1).
+func NewExemplarStore(k int) *ExemplarStore {
+	if k < 1 {
+		k = 1
+	}
+	return &ExemplarStore{k: k}
+}
+
+// Exemplars is the process-wide store fed by t3.RecordObservedPlan and
+// read by cmd/t3serve's /debug/worst.
+var Exemplars = NewExemplarStore(DefaultExemplars)
+
+// Offer scores one prediction/measurement pair and captures the plan if it
+// ranks among the k worst. The common case — an accurate prediction while
+// the store is full of worse ones — costs one atomic load and no
+// allocation; the plan is encoded only after the offer qualifies.
+func (s *ExemplarStore) Offer(root *plan.Node, mode plan.CardMode, predictedNs, actualNs int64, now time.Time) {
+	if root == nil || predictedNs <= 0 || actualNs <= 0 {
+		return
+	}
+	p, a := float64(predictedNs), float64(actualNs)
+	q := p / a
+	if q < 1 {
+		q = a / p
+	}
+	if math.IsInf(q, 0) || math.IsNaN(q) {
+		return
+	}
+	if fb := s.floor.Load(); fb != 0 && q <= math.Float64frombits(fb) {
+		return // full store, worse entries everywhere — the hot reject
+	}
+
+	key := wire.PlanKey(root, mode)
+	fp := KeyFingerprint(key)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Dedup: a known plan only advances to a worse score.
+	for i := range s.entries {
+		if s.entries[i].Fingerprint == fp {
+			if q <= s.entries[i].QError {
+				return
+			}
+			s.entries[i].QError = q
+			s.entries[i].PredictedNs = predictedNs
+			s.entries[i].ActualNs = actualNs
+			s.entries[i].AtUnixNs = now.UnixNano()
+			s.resort()
+			return
+		}
+	}
+	if len(s.entries) >= s.k && q <= s.entries[len(s.entries)-1].QError {
+		return // racing offers can slip past the floor; re-check under lock
+	}
+	e := Exemplar{
+		Fingerprint: fp,
+		Mode:        uint8(mode),
+		QError:      q,
+		PredictedNs: predictedNs,
+		ActualNs:    actualNs,
+		AtUnixNs:    now.UnixNano(),
+		Frame:       wire.AppendFrame(nil, root, mode),
+	}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, e)
+	} else {
+		s.entries[len(s.entries)-1] = e
+	}
+	s.resort()
+}
+
+// resort restores descending q-error order and refreshes the floor.
+// Callers hold s.mu.
+func (s *ExemplarStore) resort() {
+	sort.Slice(s.entries, func(i, j int) bool {
+		return s.entries[i].QError > s.entries[j].QError
+	})
+	if len(s.entries) >= s.k {
+		s.floor.Store(math.Float64bits(s.entries[len(s.entries)-1].QError))
+	}
+}
+
+// Snapshot returns a copy of the stored exemplars, worst first. Frames are
+// aliased, not copied — they are write-once after capture.
+func (s *ExemplarStore) Snapshot() []Exemplar {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Exemplar, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Frame returns the request frame of the rank-th worst exemplar (0-based),
+// or nil if out of range.
+func (s *ExemplarStore) Frame(rank int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rank < 0 || rank >= len(s.entries) {
+		return nil
+	}
+	return s.entries[rank].Frame
+}
+
+// Len returns the number of stored exemplars.
+func (s *ExemplarStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"t3/internal/engine/exec"
+	"t3/internal/engine/plan"
+	"t3/internal/feature"
+	"t3/internal/wire"
+	"t3/internal/workload"
+)
+
+// exemplarPlans returns distinct annotated plans to mispredict.
+func exemplarPlans(t *testing.T) []*plan.Node {
+	t.Helper()
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_exemplar", 0.01, 3))
+	qs := workload.TPCHBenchmarkQueries(in)
+	roots := make([]*plan.Node, 0, len(qs))
+	for _, q := range qs {
+		if err := exec.AnnotateTrueCards(q.Root); err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, q.Root)
+	}
+	if len(roots) < 4 {
+		t.Fatalf("need >= 4 distinct plans, have %d", len(roots))
+	}
+	return roots
+}
+
+func TestExemplarFrameReplaysToIdenticalFeatures(t *testing.T) {
+	roots := exemplarPlans(t)
+	reg := feature.NewDefaultRegistry()
+	var dec wire.Decoder
+	now := time.Unix(5000, 0)
+
+	for qi, root := range roots {
+		s := NewExemplarStore(1)
+		// actual = 5x predicted: q-error 5.
+		s.Offer(root, plan.TrueCards, 1_000_000, 5_000_000, now)
+		frame := s.Frame(0)
+		if frame == nil {
+			t.Fatalf("q%d: no frame captured", qi)
+		}
+		mode, _, err := wire.ParseHeader(frame)
+		if err != nil {
+			t.Fatalf("q%d: captured frame has bad header: %v", qi, err)
+		}
+		if mode != plan.TrueCards {
+			t.Fatalf("q%d: mode %d, want %d", qi, mode, plan.TrueCards)
+		}
+		back, err := dec.Decode(frame[wire.HeaderSize:])
+		if err != nil {
+			t.Fatalf("q%d: captured frame does not decode: %v", qi, err)
+		}
+		origVecs, _ := reg.PlanVectors(root, mode)
+		backVecs, _ := reg.PlanVectors(back, mode)
+		if len(origVecs) != len(backVecs) {
+			t.Fatalf("q%d: pipeline count %d -> %d", qi, len(origVecs), len(backVecs))
+		}
+		for p := range origVecs {
+			for f := range origVecs[p] {
+				if origVecs[p][f] != backVecs[p][f] {
+					t.Fatalf("q%d pipeline %d feature %d: %v -> %v",
+						qi, p, f, origVecs[p][f], backVecs[p][f])
+				}
+			}
+		}
+	}
+}
+
+func TestExemplarTopKOrderingAndDedup(t *testing.T) {
+	roots := exemplarPlans(t)
+	s := NewExemplarStore(3)
+	now := time.Unix(6000, 0)
+
+	// Four plans with q-errors 2, 9, 4, 7: only the worst three survive.
+	qs := []int64{2, 9, 4, 7}
+	for i, root := range roots[:4] {
+		s.Offer(root, plan.TrueCards, 1_000_000, qs[i]*1_000_000, now)
+	}
+	got := s.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("store holds %d, want 3", len(got))
+	}
+	wantQ := []float64{9, 7, 4}
+	for i, e := range got {
+		if e.QError != wantQ[i] {
+			t.Fatalf("rank %d q-error = %v, want %v", i, e.QError, wantQ[i])
+		}
+	}
+
+	// Re-offering a stored plan with a better score is a no-op...
+	s.Offer(roots[1], plan.TrueCards, 1_000_000, 3_000_000, now)
+	if got := s.Snapshot(); got[0].QError != 9 {
+		t.Fatalf("better re-offer overwrote worst: %v", got[0].QError)
+	}
+	// ...and with a worse score advances it in place, not as a duplicate.
+	s.Offer(roots[2], plan.TrueCards, 1_000_000, 20_000_000, now)
+	got = s.Snapshot()
+	if len(got) != 3 || got[0].QError != 20 {
+		t.Fatalf("worse re-offer not promoted: %+v", got)
+	}
+	fp := map[uint64]int{}
+	for _, e := range got {
+		fp[e.Fingerprint]++
+	}
+	for f, n := range fp {
+		if n > 1 {
+			t.Fatalf("fingerprint %x stored %d times", f, n)
+		}
+	}
+}
+
+func TestExemplarFloorRejectsCheaply(t *testing.T) {
+	roots := exemplarPlans(t)
+	s := NewExemplarStore(2)
+	now := time.Unix(7000, 0)
+	s.Offer(roots[0], plan.TrueCards, 1_000_000, 10_000_000, now) // q 10
+	s.Offer(roots[1], plan.TrueCards, 1_000_000, 8_000_000, now)  // q 8
+	// Full store, floor 8: a q-error 2 offer must not allocate (it is
+	// rejected before the frame is encoded).
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Offer(roots[2], plan.TrueCards, 1_000_000, 2_000_000, now)
+	})
+	if allocs != 0 {
+		t.Fatalf("floor-rejected offer allocates %.2f allocs/op, want 0", allocs)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("rejected offer changed the store: len %d", s.Len())
+	}
+}
+
+func TestExemplarIgnoresDegenerateInputs(t *testing.T) {
+	roots := exemplarPlans(t)
+	s := NewExemplarStore(2)
+	now := time.Unix(8000, 0)
+	s.Offer(nil, plan.TrueCards, 1, 1, now)
+	s.Offer(roots[0], plan.TrueCards, 0, 1_000_000, now)
+	s.Offer(roots[0], plan.TrueCards, 1_000_000, 0, now)
+	s.Offer(roots[0], plan.TrueCards, -5, -5, now)
+	if s.Len() != 0 {
+		t.Fatalf("degenerate offers were stored: %d", s.Len())
+	}
+}
+
+func TestKeyFingerprintSeparatesHalves(t *testing.T) {
+	a := KeyFingerprint(wire.Key{Struct: 0x1234, Cards: 0x5678})
+	b := KeyFingerprint(wire.Key{Struct: 0x5678, Cards: 0x1234})
+	if a == b {
+		t.Fatal("swapped halves collide")
+	}
+	if KeyFingerprint(wire.Key{}) != 0 {
+		t.Fatal("zero key should fingerprint to 0")
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"t3/internal/obs"
+)
+
+// Window turns a lifetime histogram into a sliding one. A ticker captures
+// an epoch snapshot of the source histogram every period; the windowed view
+// is newest snapshot minus the oldest retained one (obs.HistSnapshot.Sub),
+// which is exact because per-bucket counts are monotone. This is how drift
+// stays visible: after a million accurate predictions, the lifetime
+// q-error p99 barely moves when a workload shifts, but the windowed p99
+// jumps within one window span.
+type Window struct {
+	src *obs.Histogram
+
+	mu     sync.Mutex
+	epochs []epoch // ring, fixed capacity
+	head   int     // next write position
+	filled int     // number of valid epochs
+}
+
+type epoch struct {
+	at   time.Time
+	snap obs.HistSnapshot
+}
+
+// NewWindow builds a window over src retaining epochs snapshots (minimum
+// 2 — a window needs both ends). With a tick period p the sliding span is
+// (epochs-1) × p.
+func NewWindow(src *obs.Histogram, epochs int) *Window {
+	if epochs < 2 {
+		epochs = 2
+	}
+	return &Window{src: src, epochs: make([]epoch, epochs)}
+}
+
+// Span returns the number of tick periods the window covers.
+func (w *Window) Span() int { return len(w.epochs) - 1 }
+
+// Tick captures an epoch snapshot at the given time. Call it at a fixed
+// period from a single ticker goroutine (concurrent calls are safe but
+// make the window span uneven).
+func (w *Window) Tick(now time.Time) {
+	snap := w.src.Snapshot()
+	w.mu.Lock()
+	w.epochs[w.head] = epoch{at: now, snap: snap}
+	w.head = (w.head + 1) % len(w.epochs)
+	if w.filled < len(w.epochs) {
+		w.filled++
+	}
+	w.mu.Unlock()
+}
+
+// Delta returns the observations recorded between the oldest retained
+// epoch and the newest, together with the wall span between them. ok is
+// false until two ticks have happened.
+func (w *Window) Delta() (delta obs.HistSnapshot, span time.Duration, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.filled < 2 {
+		return obs.HistSnapshot{}, 0, false
+	}
+	newest := w.epochs[(w.head-1+len(w.epochs))%len(w.epochs)]
+	oldest := w.epochs[(w.head-w.filled+len(w.epochs))%len(w.epochs)]
+	delta = newest.snap
+	delta.Sub(oldest.snap)
+	return delta, newest.at.Sub(oldest.at), true
+}
+
+// Lifetime returns the newest full snapshot of the source histogram (live,
+// not epoch-aligned) — the baseline the windowed view is compared against.
+func (w *Window) Lifetime() obs.HistSnapshot { return w.src.Snapshot() }

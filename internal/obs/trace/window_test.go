@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"t3/internal/obs"
+)
+
+// sortedQuantile is the exact reference: the ceil(p*n)-th smallest value.
+func sortedQuantile(vals []uint64, p float64) float64 {
+	s := append([]uint64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p*float64(len(s))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx])
+}
+
+// withinOctave checks the histogram's one-octave accuracy contract: the
+// estimate and the reference share a power-of-two bucket, so they differ by
+// at most 2x in either direction.
+func withinOctave(t *testing.T, name string, got, ref float64) {
+	t.Helper()
+	if ref == 0 {
+		if got != 0 {
+			t.Fatalf("%s: got %v, reference 0", name, got)
+		}
+		return
+	}
+	if got < ref/2 || got > ref*2 {
+		t.Fatalf("%s: got %v, reference %v (outside one octave)", name, got, ref)
+	}
+}
+
+func TestWindowDeltaMatchesSortedReference(t *testing.T) {
+	h := obs.NewHistogram("t3_test_window", "test", obs.UnitCount)
+	w := NewWindow(h, 4)
+	rng := rand.New(rand.NewSource(7))
+
+	// Epoch 0: old regime — values in [1, 256). These must NOT appear in
+	// the windowed view once the window slides past them.
+	for i := 0; i < 4000; i++ {
+		h.Record(uint64(1 + rng.Intn(255)))
+	}
+	base := time.Unix(1000, 0)
+	w.Tick(base)
+
+	// New regime: values in [4096, 65536), across three epochs.
+	var recent []uint64
+	for e := 1; e <= 3; e++ {
+		for i := 0; i < 1000; i++ {
+			v := uint64(4096 + rng.Intn(61440))
+			h.Record(v)
+			recent = append(recent, v)
+		}
+		w.Tick(base.Add(time.Duration(e) * time.Second))
+	}
+
+	delta, span, ok := w.Delta()
+	if !ok {
+		t.Fatal("window not ready after 4 ticks")
+	}
+	if span != 3*time.Second {
+		t.Fatalf("span = %v, want 3s", span)
+	}
+	if delta.Count != uint64(len(recent)) {
+		t.Fatalf("delta count = %d, want %d (old-regime mass leaked in)", delta.Count, len(recent))
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		withinOctave(t, "windowed quantile", delta.Quantile(p), sortedQuantile(recent, p))
+	}
+	// The lifetime view still carries the old mass, so its p50 sits far
+	// below the windowed p50 — the whole point of windowing.
+	if life := w.Lifetime(); life.Quantile(0.5) >= delta.Quantile(0.5) {
+		t.Fatalf("lifetime p50 %v not below windowed p50 %v",
+			life.Quantile(0.5), delta.Quantile(0.5))
+	}
+}
+
+func TestWindowSlidesPastOldEpochs(t *testing.T) {
+	h := obs.NewHistogram("t3_test_slide", "test", obs.UnitCount)
+	w := NewWindow(h, 3) // span of 2 ticks
+	base := time.Unix(0, 0)
+
+	h.Record(100)
+	w.Tick(base.Add(1 * time.Second)) // epoch holds {100}
+	w.Tick(base.Add(2 * time.Second))
+	w.Tick(base.Add(3 * time.Second))
+	// The oldest retained epoch is now AFTER the 100 was recorded.
+	delta, span, ok := w.Delta()
+	if !ok || delta.Count != 0 {
+		t.Fatalf("count = %d (ok=%v), want 0 after sliding past", delta.Count, ok)
+	}
+	if span != 2*time.Second {
+		t.Fatalf("span = %v, want 2s", span)
+	}
+}
+
+func TestWindowNotReadyBeforeTwoTicks(t *testing.T) {
+	h := obs.NewHistogram("t3_test_ready", "test", obs.UnitCount)
+	w := NewWindow(h, 4)
+	if _, _, ok := w.Delta(); ok {
+		t.Fatal("empty window reported ready")
+	}
+	w.Tick(time.Unix(1, 0))
+	if _, _, ok := w.Delta(); ok {
+		t.Fatal("single-epoch window reported ready")
+	}
+	w.Tick(time.Unix(2, 0))
+	if _, _, ok := w.Delta(); !ok {
+		t.Fatal("two-epoch window not ready")
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	h := obs.NewHistogram("t3_test_sub", "test", obs.UnitCount)
+	h.Record(10)
+	h.Record(1000)
+	old := h.Snapshot()
+	h.Record(100000)
+	h.Record(100001)
+	cur := h.Snapshot()
+	cur.Sub(old)
+	if cur.Count != 2 {
+		t.Fatalf("sub count = %d, want 2", cur.Count)
+	}
+	if cur.Sum != 200001 {
+		t.Fatalf("sub sum = %v, want 200001", cur.Sum)
+	}
+	// Subtracting a snapshot from itself leaves nothing, never underflows.
+	self := h.Snapshot()
+	self.Sub(h.Snapshot())
+	if self.Count != 0 || self.Sum < 0 {
+		t.Fatalf("self-sub left count=%d sum=%v", self.Count, self.Sum)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"t3/internal/coalesce"
 	"t3/internal/engine/plan"
 	"t3/internal/obs"
+	"t3/internal/obs/trace"
 	"t3/internal/predcache"
 	"t3/internal/wire"
 )
@@ -70,12 +71,14 @@ type Server struct {
 }
 
 // connScratch is the per-connection reusable state of the binary request
-// path: frame read buffer, plan-decode arena, response write buffer.
+// path: frame read buffer, plan-decode arena, response write buffer, and a
+// prediction scratch for uncoalesced dispatches.
 type connScratch struct {
 	hdr  [wire.HeaderSize]byte
 	body []byte
 	resp []byte
 	dec  wire.Decoder
+	pred t3.PredictScratch
 }
 
 // New builds a serving core around the given model.
@@ -128,26 +131,71 @@ func (s *Server) getConn() *connScratch {
 
 // predictPayload serves one binary plan payload: decode, cache probe,
 // coalesced predict, cache fill. It returns the predicted nanoseconds.
+//
+// A sampled subset of requests (trace.Default) records a flight-recorder
+// trace of the whole path — decode, cache lookup, coalesce wait or model
+// stages — without allocating; the untraced majority pays one atomic add.
 func (s *Server) predictPayload(c *connScratch, payload []byte, mode plan.CardMode) (int64, error) {
+	tr := trace.Default.Begin(trace.KindServeBin, uint8(mode))
+	var t0 time.Time
+	if tr != nil {
+		t0 = tr.Start()
+	}
 	root, err := c.dec.Decode(payload)
 	if err != nil {
+		if tr != nil {
+			tr.Flags |= trace.FlagError
+			trace.Default.Publish(tr)
+		}
 		return 0, err
 	}
+	tr.Record(trace.StageWireDecode, t0, uint32(len(payload)))
 	var key predcache.Key
 	if s.cache != nil {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		key = predcache.Key(wire.PlanKey(root, mode))
-		if d, ok := s.cache.Get(key); ok {
+		d, ok := s.cache.Get(key)
+		if tr != nil {
+			tr.Record(trace.StageCacheLookup, t0, 0)
+			tr.Fingerprint = trace.KeyFingerprint(wire.Key(key))
+		}
+		if ok {
+			if tr != nil {
+				tr.Flags |= trace.FlagCacheHit
+				tr.PredictedNs = d.Nanoseconds()
+				trace.Default.Publish(tr)
+			}
 			return d.Nanoseconds(), nil
 		}
 	}
 	var d time.Duration
 	if s.cfg.NoCoalesce {
-		d, _ = s.Model().PredictPlan(root, mode)
+		// Direct dispatch over the connection's own scratch: the model's
+		// decompose/featurize/tree-eval spans land on this request's trace.
+		c.pred.AttachTrace(tr)
+		d, _ = s.Model().PredictPlanScratch(root, mode, &c.pred)
+		c.pred.AttachTrace(nil)
 	} else {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		d = s.batchers[mode].Predict(root)
+		if tr != nil {
+			tr.Record(trace.StageCoalesce, t0, 0)
+			tr.Flags |= trace.FlagCoalesced
+		}
 	}
 	if s.cache != nil {
 		s.cache.Put(key, d)
+	}
+	if tr != nil {
+		if s.cache == nil {
+			tr.Fingerprint = trace.KeyFingerprint(wire.PlanKey(root, mode))
+		}
+		tr.PredictedNs = d.Nanoseconds()
+		trace.Default.Publish(tr)
 	}
 	return d.Nanoseconds(), nil
 }
@@ -159,6 +207,8 @@ func (s *Server) PredictBinHandler() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		obs.ServeBinRequests.Inc()
+		obs.ServeInflight.Inc()
+		defer obs.ServeInflight.Dec()
 		if r.Method != http.MethodPost {
 			obs.ServeBinErrors.Inc()
 			http.Error(w, "POST a wire frame", http.StatusMethodNotAllowed)
@@ -233,10 +283,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		start := time.Now()
 		obs.ServeBinRequests.Inc()
+		obs.ServeInflight.Inc()
 		mode, n, err := wire.ParseHeader(c.hdr[:])
 		if err != nil {
 			// Framing is broken; answer once and hang up.
 			obs.ServeBinErrors.Inc()
+			obs.ServeInflight.Dec()
 			c.resp = wire.AppendErrorResponse(c.resp[:0], wire.StatusBadRequest, err.Error())
 			_, _ = wr.Write(c.resp)
 			_ = wr.Flush()
@@ -247,6 +299,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		c.body = c.body[:n]
 		if _, err := io.ReadFull(rd, c.body); err != nil {
+			obs.ServeInflight.Dec()
 			return
 		}
 		c.resp = c.resp[:0]
@@ -259,15 +312,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			c.resp = wire.AppendResponse(c.resp, ns)
 		}
 		if _, err := wr.Write(c.resp); err != nil {
+			obs.ServeInflight.Dec()
 			return
 		}
 		// Flush only when no further request is already buffered, so
 		// pipelined clients batch response writes too.
 		if rd.Buffered() < wire.HeaderSize {
 			if err := wr.Flush(); err != nil {
+				obs.ServeInflight.Dec()
 				return
 			}
 		}
+		obs.ServeInflight.Dec()
 		obs.ServeBinLatency.Since(start)
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"t3/internal/engine/exec"
 	"t3/internal/engine/plan"
 	"t3/internal/obs"
+	"t3/internal/obs/trace"
+	"t3/internal/predcache"
 	"t3/internal/wire"
 	"t3/internal/workload"
 )
@@ -372,5 +374,71 @@ func TestCacheDisabled(t *testing.T) {
 	}
 	if s.CacheLen() != 0 {
 		t.Fatal("disabled cache holds entries")
+	}
+}
+
+// TestUncoalescedMissPathIsAllocationFree guards the cache-off direct
+// dispatch: decode, predict over the connection's own scratch (with its
+// trace attached when sampled), respond — zero heap allocations warm.
+func TestUncoalescedMissPathIsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	s := newServer(t, Config{NoCoalesce: true, CacheEntries: -1})
+	c := s.getConn()
+	root := benchPlans(t)[1]
+	payload := wire.AppendPlan(nil, root)
+	for i := 0; i < 32; i++ { // warm arena, predict scratch, trace pool
+		if _, err := s.predictPayload(c, payload, plan.TrueCards); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := s.predictPayload(c, payload, plan.TrueCards); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("uncoalesced miss path allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestServeRequestsAppearInFlightRecorder drives enough requests through
+// the sampled recorder to see serve-path traces in the ring, with the
+// stages and flags the path implies.
+func TestServeRequestsAppearInFlightRecorder(t *testing.T) {
+	s := newServer(t, Config{MaxWait: 50 * time.Microsecond})
+	root := benchPlans(t)[0]
+	payload := wire.AppendPlan(nil, root)
+	c := s.getConn()
+	key := predcache.Key(wire.PlanKey(root, plan.TrueCards))
+	wantFP := trace.KeyFingerprint(wire.Key(key))
+
+	// 64 requests at 1-in-16 sampling: ~4 traces; all but the first hit.
+	for i := 0; i < 64; i++ {
+		if _, err := s.predictPayload(c, payload, plan.TrueCards); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var hit *trace.Trace
+	for _, tr := range trace.Default.Snapshot(nil) {
+		if tr.Kind == trace.KindServeBin && tr.Fingerprint == wantFP &&
+			tr.Flags&trace.FlagCacheHit != 0 {
+			hit = &tr
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("no cache-hit serve trace in the flight recorder after 64 requests")
+	}
+	stages := map[trace.Stage]bool{}
+	for _, sp := range hit.Spans[:hit.NSpans] {
+		stages[sp.Stage] = true
+	}
+	if !stages[trace.StageWireDecode] || !stages[trace.StageCacheLookup] {
+		t.Fatalf("cache-hit trace missing decode/lookup spans: %+v", hit.Spans[:hit.NSpans])
+	}
+	if hit.PredictedNs <= 0 {
+		t.Fatalf("trace predicted %d ns", hit.PredictedNs)
 	}
 }

@@ -4,7 +4,11 @@
 # Boots t3serve and drives cmd/t3loadgen over every protocol, then once
 # more against a cache-disabled, coalescing-disabled server to isolate what
 # the prediction cache and request coalescing buy. Results accumulate as
-# JSON lines in BENCH_serve.json (one t3loadgen record per line).
+# JSON lines in BENCH_serve.json (one t3/metrics-snapshot/v1 record per
+# line: the run under "run", client-side latency metrics under "metrics").
+# After each phase the server's own /metrics.json snapshot — the same
+# schema — is saved next to it (BENCH_serve.server-<phase>.json), so client
+# and server views of one run diff uniformly.
 #
 # Knobs (environment):
 #   DUR=5s WARM=1s CONC=8 OUT=BENCH_serve.json scripts/bench_serve.sh
@@ -55,6 +59,10 @@ gen() { # args: name proto addr [extra flags]
         -duration "$DUR" -warmup "$WARM" -name "$name" -out "$OUT" "$@" >/dev/null
 }
 
+snap() { # capture the server-side metrics snapshot of the current phase
+    curl -fsS "http://$HTTP_ADDR/metrics.json" >"${OUT%.json}.server-$1.json"
+}
+
 qps() { # extract qps of the named record from $OUT
     grep "\"name\":\"$1\"" "$OUT" | tail -1 | sed 's/.*"qps":\([0-9.]*\).*/\1/'
 }
@@ -67,12 +75,14 @@ gen json-baseline      json "$HTTP_ADDR"
 gen bin-coalesced      bin  "$HTTP_ADDR"
 gen tcp-coalesced      tcp  "$TCP_ADDR"
 gen tcp-cache-hot      tcp  "$TCP_ADDR" -distinct 1
+snap cached
 stop_serve
 
 echo "=== cache + coalescing disabled (isolation run) ==="
 start_serve -cache 0 -coalesce-wait 0
 gen bin-nocache        bin  "$HTTP_ADDR"
 gen tcp-nocache        tcp  "$TCP_ADDR" -distinct 1
+snap nocache
 stop_serve
 
 json_qps=$(qps json-baseline)

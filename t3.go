@@ -35,9 +35,11 @@ import (
 	"t3/internal/feature"
 	"t3/internal/gbdt"
 	"t3/internal/obs"
+	"t3/internal/obs/trace"
 	"t3/internal/par"
 	"t3/internal/qerror"
 	"t3/internal/treec"
+	"t3/internal/wire"
 )
 
 // Re-exported types so that API consumers can name the core concepts without
@@ -169,7 +171,18 @@ type PipelinePrediction struct {
 type PredictScratch struct {
 	feat  feature.Scratch
 	preds []PipelinePrediction
+	// tr, when set, receives the per-stage spans of the next prediction
+	// instead of an independently sampled flight-recorder trace (see
+	// AttachTrace).
+	tr *trace.Trace
 }
+
+// AttachTrace routes the next prediction's stage spans into a caller-owned
+// flight-recorder trace — the serving tier attaches its request trace so
+// decode, cache, and model stages land on one timeline. Pass nil to detach.
+// While a trace is attached the prediction path does not begin (or publish)
+// its own.
+func (s *PredictScratch) AttachTrace(tr *trace.Trace) { s.tr = tr }
 
 // PredictPlanScratch is PredictPlan over a caller-owned scratch: after the
 // scratch warms up (one call), featurize → predict → per-pipeline sum run
@@ -178,21 +191,42 @@ type PredictScratch struct {
 //
 // The path is instrumented: every call counts into obs.Predictions and
 // records its end-to-end latency; one in every few calls (obs.StageSampler)
-// additionally records decompose/featurize/tree-eval spans. All recording
-// is atomic adds on preallocated histograms, so the zero-alloc guarantee
-// holds with observability on.
+// additionally records decompose/featurize/tree-eval spans into the stage
+// histograms, and an independently sampled subset records the same spans
+// into the flight recorder (trace.Default) — unless the caller attached its
+// own trace via AttachTrace, which then receives the spans instead. All
+// recording is atomic adds on preallocated histograms and pooled trace
+// buffers, so the zero-alloc guarantee holds with observability on.
 func (m *Model) PredictPlanScratch(root *Plan, mode CardMode, s *PredictScratch) (time.Duration, []PipelinePrediction) {
 	start := time.Now()
 	sampled := obs.StageSampler.Sample()
+	tr := s.tr
+	owned := false
+	if tr == nil {
+		tr = trace.Default.Begin(trace.KindPredict, uint8(mode))
+		owned = tr != nil
+	}
+	timed := sampled || tr != nil
 	t0 := start
+	if owned {
+		// The trace's clock started inside Begin, after start was taken;
+		// re-baseline so span offsets cannot go negative.
+		t0 = tr.Start()
+	}
 	pipelines := plan.DecomposeInto(root, &s.feat.Pipes)
-	if sampled {
-		obs.PredictDecompose.Since(t0)
+	if timed {
+		if sampled {
+			obs.PredictDecompose.Since(t0)
+		}
+		tr.Record(trace.StageDecompose, t0, 0)
 		t0 = time.Now()
 	}
 	vecs := m.reg.EncodeDecomposed(&s.feat, pipelines, mode)
-	if sampled {
-		obs.PredictFeaturize.Since(t0)
+	if timed {
+		if sampled {
+			obs.PredictFeaturize.Since(t0)
+		}
+		tr.Record(trace.StageFeaturize, t0, 0)
 		t0 = time.Now()
 	}
 	s.preds = s.preds[:0]
@@ -203,11 +237,19 @@ func (m *Model) PredictPlanScratch(root *Plan, mode CardMode, s *PredictScratch)
 		total += pred.Total
 		s.preds = append(s.preds, pred)
 	}
-	if sampled {
-		obs.PredictTreeEval.Since(t0)
+	if timed {
+		if sampled {
+			obs.PredictTreeEval.Since(t0)
+		}
+		tr.Record(trace.StageTreeEval, t0, uint32(len(vecs)))
 	}
 	obs.Predictions.Inc()
 	obs.PredictLatency.Since(start)
+	if owned {
+		tr.Fingerprint = trace.KeyFingerprint(wire.PlanKey(root, mode))
+		tr.PredictedNs = total.Nanoseconds()
+		trace.Default.Publish(tr)
+	}
 	return total, s.preds
 }
 
@@ -314,18 +356,65 @@ func RecordObserved(predicted, actual time.Duration) float64 {
 	return q
 }
 
+// RecordObservedPlan is RecordObserved when the mispredicted plan is still
+// at hand: besides feeding the drift histogram it offers the plan to the
+// worst-misprediction exemplar store (trace.Exemplars), which captures the
+// top-K offenders as replayable wire frames for /debug/worst.
+func RecordObservedPlan(root *Plan, mode CardMode, predicted, actual time.Duration) float64 {
+	q := RecordObserved(predicted, actual)
+	trace.Exemplars.Offer(root, mode, predicted.Nanoseconds(), actual.Nanoseconds(), time.Now())
+	return q
+}
+
 // PredictAndRun predicts the plan, then actually executes it on the
 // in-memory engine and feeds the resulting q-error into the drift
-// histogram via RecordObserved. It returns the prediction, the measured
-// execution time, and the q-error between them.
+// histogram and the exemplar store via RecordObservedPlan. It returns the
+// prediction, the measured execution time, and the q-error between them.
+//
+// Every round records a full flight-recorder trace (predict stages, one
+// span per executed pipeline with its morsel/parallelism shape, merge
+// spans): rounds are engine-execution-bound, so tracing them all costs
+// nothing by comparison and /debug/queries always shows ground truth.
 func (m *Model) PredictAndRun(root *Plan, mode CardMode) (predicted, actual time.Duration, q float64, err error) {
-	predicted, _ = m.PredictPlan(root, mode)
+	tr := trace.Default.ForceBegin(trace.KindRun, uint8(mode))
+	s := m.getScratch()
+	s.tr = tr
+	predicted, _ = m.PredictPlanScratch(root, mode, s)
+	s.tr = nil
+	m.scratches.Put(s)
+
+	execStart := time.Now()
 	res, err := exec.Run(root, false)
 	if err != nil {
+		tr.Flags |= trace.FlagError
+		tr.PredictedNs = predicted.Nanoseconds()
+		trace.Default.Publish(tr)
 		return predicted, 0, 0, fmt.Errorf("t3: executing plan: %w", err)
 	}
 	actual = res.Total
-	q = RecordObserved(predicted, actual)
+	q = RecordObservedPlan(root, mode, predicted, actual)
+
+	// Lift the engine's pipeline timings into the trace: pipelines ran
+	// back to back from execStart, so cumulative durations are offsets.
+	off := execStart.Sub(tr.Start()).Nanoseconds()
+	for _, pt := range res.Pipelines {
+		d := pt.Duration.Nanoseconds()
+		tr.Add(trace.StagePipeline, off,
+			d, trace.PipelineArg(pt.Index, pt.Morsels, pt.Parallelism))
+		if pt.Merge > 0 {
+			// The merge is the tail of the pipeline's duration.
+			tr.Add(trace.StageMerge, off+d-pt.Merge.Nanoseconds(),
+				pt.Merge.Nanoseconds(), uint32(pt.Index))
+		}
+		off += d
+	}
+	tr.Fingerprint = trace.KeyFingerprint(wire.PlanKey(root, mode))
+	tr.PredictedNs = predicted.Nanoseconds()
+	tr.ActualNs = actual.Nanoseconds()
+	if qm := q * 1000; qm >= 0 && qm < 1e18 { // guard degenerate q-errors
+		tr.QErrorMilli = uint64(qm)
+	}
+	trace.Default.Publish(tr)
 	return predicted, actual, q, nil
 }
 

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-baseline bench-predict bench-engine bench-serve fuzz-smoke train compile experiments serve clean
+.PHONY: all build test vet bench bench-baseline bench-predict bench-engine bench-serve bench-planner fuzz-smoke train compile experiments serve clean
 
 all: build vet test
 
@@ -41,6 +41,14 @@ bench-engine:
 # passes through to the script.
 bench-serve:
 	DUR=$(or $(DUR),5s) CONC=$(or $(CONC),8) scripts/bench_serve.sh
+
+# Planner-costing benchmark: DPsize join-order enumeration across costing
+# paths (scalar Flat baseline, memoized scalars, level-batched packed tier),
+# plan-quality execution, and the batched-dispatch scheduling comparison,
+# into BENCH_planner.json; asserts bit-identical plans and the batched
+# speedup floor. `make bench-planner FULL=1 MIN_SPEEDUP=4` passes through.
+bench-planner:
+	FULL=$(or $(FULL),0) MIN_SPEEDUP=$(or $(MIN_SPEEDUP),2.5) scripts/bench_planner.sh
 
 # Short fuzzing pass over every native fuzz target, starting from the
 # checked-in corpora under testdata/fuzz/. Override the per-target budget

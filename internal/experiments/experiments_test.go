@@ -299,8 +299,8 @@ func TestSchedulingExtension(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Log("\n" + s.Format())
-	if len(s.Rows) != 4 {
-		t.Fatalf("expected 4 predictors, got %d", len(s.Rows))
+	if len(s.Rows) != 5 {
+		t.Fatalf("expected 5 predictors, got %d", len(s.Rows))
 	}
 	byName := map[string]SchedulingRow{}
 	for _, r := range s.Rows {
@@ -323,6 +323,13 @@ func TestSchedulingExtension(t *testing.T) {
 	// Prediction overhead: the NN must pay more than T3.
 	if byName["Zero Shot NN"].Result.DispatchOverhead <= t3r.DispatchOverhead {
 		t.Errorf("NN dispatch overhead should exceed T3's")
+	}
+	// Batched dispatch prices the whole queue with one packed-tier call, so
+	// its critical-path prediction latency must undercut serialized T3's.
+	batched := byName["T3 (batched dispatch)"].Result
+	if batched.DispatchOverhead >= t3r.DispatchOverhead {
+		t.Errorf("batched dispatch overhead %v should undercut serialized T3's %v",
+			batched.DispatchOverhead, t3r.DispatchOverhead)
 	}
 }
 

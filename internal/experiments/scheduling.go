@@ -74,6 +74,20 @@ func (e *Env) RunScheduling() (*Scheduling, error) {
 	})
 	res.Rows = append(res.Rows, SchedulingRow{"T3", sched.Simulate(t3Jobs, clusters, sched.LongestFirst)})
 
+	// T3, batched dispatch: the dispatcher prices the whole queue with one
+	// packed-tier batch call and pays its measured latency once.
+	roots := make([]*plan.Node, len(test))
+	for i, b := range test {
+		roots[i] = b.Query.Root
+	}
+	preds := make([]time.Duration, len(test))
+	batchStart := time.Now()
+	m.PredictBatchInto(roots, plan.TrueCards, preds)
+	batchLat := time.Since(batchStart)
+	batchJobs := mkJobs(func(i int) (time.Duration, time.Duration) { return preds[i], 0 })
+	res.Rows = append(res.Rows, SchedulingRow{"T3 (batched dispatch)",
+		sched.SimulateBatchDispatch(batchJobs, clusters, sched.LongestFirst, batchLat)})
+
 	// Zero Shot NN.
 	nnJobs := mkJobs(func(i int) (time.Duration, time.Duration) {
 		start := time.Now()

@@ -1,0 +1,491 @@
+package joinorder
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"slices"
+	"sync"
+	"time"
+
+	"t3/internal/feature"
+	"t3/internal/obs"
+	"t3/internal/par"
+	"t3/internal/treec"
+	"t3/internal/workload"
+)
+
+// This file implements the level-batched DPsize enumerator: instead of one
+// scalar model call per candidate join, candidates are gathered per DP level
+// and priced in batched packed-tier prediction waves over a flat row-major
+// arena (fanned across the shared worker pool for large waves). Waves are
+// replayed best-first per subset with an exact incumbent prune, so most
+// candidates never reach the model at all.
+//
+// Determinism contract with the scalar path (DPSize + T3CostModel over the
+// same *treec.Packed):
+//
+//   - Vectors are produced by the same t3feat transition functions
+//     (leafInto / closeBuildInto / extendProbeInto), so they are equal by
+//     construction. Copy-on-extend happens directly into the arena.
+//   - Packed.PredictRowsInto adds tree contributions in tree order per row,
+//     independent of blocking, flush boundaries, and worker count, so every
+//     prediction is bit-identical to a scalar Packed.Predict of the same row.
+//   - Seconds are accumulated in the scalar path's exact float order:
+//     closed = (build.closed + probe.closed) + closePred; total = closed +
+//     openPred, both via the shared scaleSeconds.
+//   - The scalar loop keeps the first candidate (in enumeration order) that
+//     is strictly cheaper than the incumbent, which selects the minimum total
+//     with earliest-candidate tie-break. That selection is replay-order-free,
+//     so waves may evaluate candidates in any order and still install the
+//     scalar winner: the replay compares (total, gather index) pairs.
+//
+// The incumbent prune is exact, with no epsilons: a candidate's gather key is
+// key = fl(build.closed + probe.closed), and its eventual cost is
+// total = fl(fl(key + buildPred) + openPred) with buildPred, openPred >= 0.
+// Float rounding of a sum of non-negatives is monotone, so total >= key.
+// Incumbent totals only decrease, so once key >= incumbent total the
+// candidate provably cannot win — it is dropped without being featurized or
+// predicted. Within a subset, candidates are evaluated cheapest-key-first
+// (one per wave), which makes the incumbent converge to its final value
+// almost immediately and prunes the bulk of the level.
+//
+// Together these make DPSizeBatched return bit-identical costs and the same
+// optimal tree as the scalar reference for any MaxBatch and worker count —
+// the property test in batch_test.go pins this. The evaluated-candidate set
+// is also identical across configs: waves are assembled only from state
+// established before the wave, never from mid-wave replays.
+
+// DefaultMaxBatch bounds feature rows per prediction flush when
+// BatchConfig.MaxBatch is zero. Chunked flushing keeps each packed-tier call
+// cache-friendly on clique-shaped graphs whose waves hold thousands of rows.
+const DefaultMaxBatch = 2048
+
+// BatchConfig tunes the level-batched enumerator.
+type BatchConfig struct {
+	// Workers fans prediction flushes across a cached worker pool
+	// (0 = GOMAXPROCS, 1 = serial). Costs are bit-identical for every value.
+	Workers int
+	// MaxBatch bounds the feature rows predicted per flush (0 = DefaultMaxBatch).
+	MaxBatch int
+}
+
+// batchSlot is the running winner for one relation subset: the batched
+// counterpart of t3State, stored flat in a reusable freelist-style slice with
+// its open-pipeline vector in a pooled slab (vecOff indexes batchEnum.slotVec).
+type batchSlot struct {
+	closedSeconds float64
+	openPred      float64 // memoized open-pipeline seconds of the winner
+	total         float64 // closedSeconds + openPred, the comparison key
+	openSrcCard   float64
+	card          float64
+	width         float64
+	buildPred     float64 // memoized close-build seconds (this slot as build side)
+	bs, ps        uint64  // winning split, for tree reconstruction
+	vecOff        int32   // open-pipeline vector offset into slotVec
+	winIdx        int32   // gather index of the winner, for tie-breaking
+	hasWinner     bool
+	buildPredOK   bool
+}
+
+// candRef describes one gathered candidate join awaiting evaluation or
+// pruning. key is the exact float lower bound of the candidate's total
+// (the two finalized closed-pipeline sums), used both as the best-first
+// ordering key and in the incumbent prune.
+type candRef struct {
+	buildSlot int32
+	probeSlot int32
+	winSlot   int32
+	bs, ps    uint64
+	outCard   float64
+	key       float64
+}
+
+// waveRef is one wave member: a candidate plus its arena rows for this wave
+// (closeRow is -1 when the build side's close prediction is already memoized
+// or queued earlier in the same wave).
+type waveRef struct {
+	cand     int32
+	closeRow int32
+	extRow   int32
+}
+
+// batchEnum is the pooled scratch of one enumeration: candidate arena, output
+// buffer, wave and ordering scratch, slot freelist, slot vector slab, and DP
+// index. Steady-state reuse via batchPool is what holds the CI-guarded
+// allocation bound.
+type batchEnum struct {
+	stride  int
+	rows    []float64 // wave-local candidate arena, row-major
+	out     []float64
+	cands   []candRef // current level's candidates, in enumeration order
+	waves   []waveRef
+	order   []int32  // level candidates grouped by subset, cheapest key first
+	keys    []uint64 // per-segment sort scratch: float32 key bits | cand index
+	slotOff []int32  // order segment bounds per level slot
+	slotCur []int32  // per level slot cursor into order
+	slots   []batchSlot
+	slotVec []float64 // persistent open-pipeline vectors, indexed by vecOff
+	zeroRow []float64 // stride zeros, append source for arena growth
+	dp      map[uint64]int32
+	bySize  [][]uint64
+	// closeRowOf[si] is the arena row carrying slot si's close-build vector in
+	// the current wave (-1 when absent); closeTouched lists the slots to reset.
+	closeRowOf   []int32
+	closeTouched []int32
+}
+
+var batchPool sync.Pool
+
+// getBatchEnum checks scratch out of the pool and sizes it for the run.
+func getBatchEnum(stride, maxRows, n int) *batchEnum {
+	e, _ := batchPool.Get().(*batchEnum)
+	if e == nil {
+		e = &batchEnum{dp: make(map[uint64]int32, 1<<8)}
+	}
+	if e.stride != stride || cap(e.rows) < maxRows*stride {
+		e.rows = make([]float64, 0, maxRows*stride)
+		e.out = make([]float64, maxRows)
+		e.zeroRow = make([]float64, stride)
+	}
+	e.stride = stride
+	e.rows = e.rows[:0]
+	e.cands = e.cands[:0]
+	e.waves = e.waves[:0]
+	e.order = e.order[:0]
+	e.slots = e.slots[:0]
+	e.slotVec = e.slotVec[:0]
+	e.closeTouched = e.closeTouched[:0]
+	clear(e.dp)
+	if cap(e.bySize) < n+1 {
+		e.bySize = make([][]uint64, n+1)
+	}
+	e.bySize = e.bySize[:n+1]
+	for i := range e.bySize {
+		e.bySize[i] = e.bySize[i][:0]
+	}
+	return e
+}
+
+func putBatchEnum(e *batchEnum) { batchPool.Put(e) }
+
+// newSlot appends a fresh slot with slab-backed vector storage and returns
+// its index.
+func (e *batchEnum) newSlot() int32 {
+	si := int32(len(e.slots))
+	off := int32(len(e.slotVec))
+	e.slotVec = append(e.slotVec, e.zeroRow...)
+	if cap(e.slots) > len(e.slots) {
+		e.slots = e.slots[:len(e.slots)+1]
+		e.slots[si] = batchSlot{vecOff: off}
+	} else {
+		e.slots = append(e.slots, batchSlot{vecOff: off})
+	}
+	if len(e.closeRowOf) <= int(si) {
+		e.closeRowOf = append(e.closeRowOf, -1)
+	} else {
+		e.closeRowOf[si] = -1
+	}
+	return si
+}
+
+// slotVecOf returns slot si's persistent open-pipeline vector.
+func (e *batchEnum) slotVecOf(si int32) []float64 {
+	off := int(e.slots[si].vecOff)
+	return e.slotVec[off : off+e.stride]
+}
+
+// addRow claims the next arena row (growing the arena when a wave outruns
+// its pooled capacity) and returns its index.
+func (e *batchEnum) addRow() int32 {
+	r := int32(len(e.rows) / e.stride)
+	if len(e.rows)+e.stride <= cap(e.rows) {
+		e.rows = e.rows[:len(e.rows)+e.stride]
+	} else {
+		e.rows = append(e.rows, e.zeroRow...)
+	}
+	return r
+}
+
+// row returns arena row r.
+func (e *batchEnum) row(r int32) []float64 {
+	return e.rows[int(r)*e.stride : (int(r)+1)*e.stride]
+}
+
+// orderLevel groups the level's candidates by subset slot and sorts each
+// group cheapest-key-first. Keys are compared through their float32 bits —
+// any deterministic order is sound (winner selection is order-free), and the
+// packed uint64 sort keeps the hot path allocation- and closure-free.
+func (e *batchEnum) orderLevel(levelSlotLo int32, nslots int) {
+	if cap(e.slotOff) < nslots+1 {
+		e.slotOff = make([]int32, nslots+1)
+		e.slotCur = make([]int32, nslots)
+	}
+	e.slotOff = e.slotOff[:nslots+1]
+	e.slotCur = e.slotCur[:nslots]
+	for i := range e.slotOff {
+		e.slotOff[i] = 0
+	}
+	for _, c := range e.cands {
+		e.slotOff[c.winSlot-levelSlotLo+1]++
+	}
+	for s := 0; s < nslots; s++ {
+		e.slotOff[s+1] += e.slotOff[s]
+		e.slotCur[s] = e.slotOff[s]
+	}
+	if cap(e.order) < len(e.cands) {
+		e.order = make([]int32, len(e.cands))
+	}
+	e.order = e.order[:len(e.cands)]
+	for ci := range e.cands {
+		s := e.cands[ci].winSlot - levelSlotLo
+		e.order[e.slotCur[s]] = int32(ci)
+		e.slotCur[s]++
+	}
+	maxSeg := 0
+	for s := 0; s < nslots; s++ {
+		if n := int(e.slotOff[s+1] - e.slotOff[s]); n > maxSeg {
+			maxSeg = n
+		}
+	}
+	if cap(e.keys) < maxSeg {
+		e.keys = make([]uint64, maxSeg)
+	}
+	for s := 0; s < nslots; s++ {
+		seg := e.order[e.slotOff[s]:e.slotOff[s+1]]
+		e.slotCur[s] = e.slotOff[s]
+		if len(seg) < 2 {
+			continue
+		}
+		ks := e.keys[:len(seg)]
+		for i, ci := range seg {
+			ks[i] = uint64(math.Float32bits(float32(e.cands[ci].key)))<<32 | uint64(uint32(ci))
+		}
+		slices.Sort(ks)
+		for i, k := range ks {
+			seg[i] = int32(uint32(k))
+		}
+	}
+}
+
+// DPSizeBatched runs DPsize with level-batched packed-tier costing: the
+// batched, allocation-lean, pruned equivalent of DPSize over
+// NewT3Cost(packed, ...). It returns bit-identical costs and the same optimal
+// tree as that scalar reference for any BatchConfig (see the determinism
+// contract above).
+func DPSizeBatched(spec *workload.JoinSpec, pred *treec.Packed, reg *feature.Registry, inst *workload.Instance, oracle Oracle, cfg BatchConfig) (*Result, error) {
+	n := len(spec.Rels)
+	if n == 0 {
+		return nil, fmt.Errorf("joinorder: empty spec")
+	}
+	if n > 62 {
+		return nil, fmt.Errorf("joinorder: %d relations exceed bitmask capacity", n)
+	}
+	maxRows := cfg.MaxBatch
+	if maxRows <= 0 {
+		maxRows = DefaultMaxBatch
+	}
+	if maxRows < 2 {
+		maxRows = 2
+	}
+	pool := par.Sized(cfg.Workers)
+	feat := newT3Feat(reg, inst, spec)
+	stride := reg.NumFeatures()
+
+	e := getBatchEnum(stride, maxRows, n)
+	defer putBatchEnum(e)
+
+	start := time.Now()
+	res := &Result{}
+	adjacency := buildAdjacency(spec, n)
+
+	// Leaves: one slot per relation, vector written straight into the slab.
+	for r := 0; r < n; r++ {
+		si := e.newSlot()
+		srcCard, card, width := feat.leafInto(e.slotVecOf(si), r)
+		s := &e.slots[si]
+		s.openSrcCard, s.card, s.width = srcCard, card, width
+		s.hasWinner = true
+		e.dp[uint64(1)<<uint(r)] = si
+		e.bySize[1] = append(e.bySize[1], uint64(1)<<uint(r))
+	}
+
+	// runLevel prices one DP level's gathered candidates in best-first waves.
+	// Each wave takes the cheapest not-yet-pruned candidate of every subset
+	// (skipping candidates whose exact closed-cost lower bound has reached
+	// the incumbent), predicts all wave rows batched, and replays exactly.
+	runLevel := func(levelSlotLo int32) {
+		nslots := len(e.slots) - int(levelSlotLo)
+		if nslots == 0 || len(e.cands) == 0 {
+			return
+		}
+		e.orderLevel(levelSlotLo, nslots)
+		for {
+			e.waves = e.waves[:0]
+			e.rows = e.rows[:0]
+			for s := 0; s < nslots; s++ {
+				cur := e.slotCur[s]
+				end := e.slotOff[s+1]
+				w := &e.slots[levelSlotLo+int32(s)]
+				for cur < end {
+					ci := e.order[cur]
+					c := &e.cands[ci]
+					if w.hasWinner {
+						if c.key >= w.total {
+							// Keys ascend within the segment: everything left
+							// is a certain loser.
+							res.Pruned += int(end - cur)
+							cur = end
+							break
+						}
+						if b := &e.slots[c.buildSlot]; b.buildPredOK && c.key+b.buildPred >= w.total {
+							res.Pruned++
+							cur++
+							continue
+						}
+					}
+					b := &e.slots[c.buildSlot]
+					cr := int32(-1)
+					if !b.buildPredOK && e.closeRowOf[c.buildSlot] < 0 {
+						cr = e.addRow()
+						feat.closeBuildInto(e.row(cr), e.slotVecOf(c.buildSlot), b.card, b.openSrcCard, b.width)
+						e.closeRowOf[c.buildSlot] = cr
+						e.closeTouched = append(e.closeTouched, c.buildSlot)
+					}
+					p := &e.slots[c.probeSlot]
+					er := e.addRow()
+					feat.extendProbeInto(e.row(er), e.slotVecOf(c.probeSlot), b.card, b.width, p.card, p.openSrcCard, p.width, c.outCard)
+					e.waves = append(e.waves, waveRef{cand: ci, closeRow: cr, extRow: er})
+					cur++
+					break
+				}
+				e.slotCur[s] = cur
+			}
+			if len(e.waves) == 0 {
+				return
+			}
+
+			nrows := len(e.rows) / stride
+			if cap(e.out) < nrows {
+				e.out = make([]float64, nrows)
+			}
+			out := e.out[:nrows]
+			for lo := 0; lo < nrows; lo += maxRows {
+				hi := min(lo+maxRows, nrows)
+				pred.PredictRowsInto(e.rows[lo*stride:hi*stride], stride, out[lo:hi], pool)
+				res.Batches++
+				if hi-lo > res.MaxBatch {
+					res.MaxBatch = hi - lo
+				}
+				obs.JoinorderBatchSize.Record(uint64(hi - lo))
+			}
+			res.ModelCalls += nrows
+
+			for _, wr := range e.waves {
+				c := &e.cands[wr.cand]
+				b := &e.slots[c.buildSlot]
+				if wr.closeRow >= 0 {
+					b.buildPred = scaleSeconds(out[wr.closeRow], b.openSrcCard)
+					b.buildPredOK = true
+				}
+				p := &e.slots[c.probeSlot]
+				closed := b.closedSeconds + p.closedSeconds + b.buildPred
+				openPred := scaleSeconds(out[wr.extRow], p.openSrcCard)
+				total := closed + openPred
+				w := &e.slots[c.winSlot]
+				if !w.hasWinner || total < w.total || (total == w.total && wr.cand < w.winIdx) {
+					w.hasWinner = true
+					w.closedSeconds = closed
+					w.openPred = openPred
+					w.total = total
+					w.openSrcCard = p.openSrcCard
+					w.card = c.outCard
+					w.width = p.width + b.width
+					w.bs, w.ps = c.bs, c.ps
+					w.winIdx = wr.cand
+					copy(e.slotVecOf(c.winSlot), e.row(wr.extRow))
+				}
+			}
+			for _, si := range e.closeTouched {
+				e.closeRowOf[si] = -1
+			}
+			e.closeTouched = e.closeTouched[:0]
+		}
+	}
+
+	steps := 0
+	for size := 2; size <= n; size++ {
+		levelSlotLo := int32(len(e.slots))
+		e.cands = e.cands[:0]
+		for s1 := 1; s1 <= size/2; s1++ {
+			s2 := size - s1
+			for _, a := range e.bySize[s1] {
+				for _, b := range e.bySize[s2] {
+					if a&b != 0 || (s1 == s2 && a >= b) {
+						continue
+					}
+					if !setsConnected(adjacency, a, b, n) {
+						continue
+					}
+					sa, sb := e.dp[a], e.dp[b]
+					set := a | b
+					wi, ok := e.dp[set]
+					if !ok {
+						wi = e.newSlot()
+						e.dp[set] = wi
+						e.bySize[size] = append(e.bySize[size], set)
+					}
+					for _, pair := range [2][2]uint64{{a, b}, {b, a}} {
+						bs, ps := pair[0], pair[1]
+						var bSlot, pSlot int32
+						if bs == a {
+							bSlot, pSlot = sa, sb
+						} else {
+							bSlot, pSlot = sb, sa
+						}
+						steps++
+						outCard := oracle.Card(set)
+						e.cands = append(e.cands, candRef{
+							buildSlot: bSlot,
+							probeSlot: pSlot,
+							winSlot:   wi,
+							bs:        bs,
+							ps:        ps,
+							outCard:   outCard,
+							key:       e.slots[bSlot].closedSeconds + e.slots[pSlot].closedSeconds,
+						})
+					}
+				}
+			}
+		}
+		runLevel(levelSlotLo)
+	}
+
+	full := uint64(1)<<uint(n) - 1
+	si, ok := e.dp[full]
+	if !ok {
+		return nil, fmt.Errorf("joinorder: join graph of %s is disconnected", spec.Name)
+	}
+	if n == 1 {
+		// Single relation: the open pipeline is the whole plan.
+		s := &e.slots[si]
+		res.ModelCalls++
+		s.total = scaleSeconds(pred.Predict(e.slotVecOf(si)), s.openSrcCard)
+	}
+	res.Tree = e.rebuildTree(full)
+	res.Cost = e.slots[si].total
+	res.DPSteps = steps
+	recordEnumeration(res, time.Since(start))
+	return res, nil
+}
+
+// rebuildTree materializes the optimal join tree from the winning splits
+// recorded in the slots. Valid because every slot's (bs, ps) reference
+// finalized smaller-level subsets.
+func (e *batchEnum) rebuildTree(set uint64) *Tree {
+	if bits.OnesCount64(set) == 1 {
+		return &Tree{Rel: bits.TrailingZeros64(set)}
+	}
+	s := &e.slots[e.dp[set]]
+	return &Tree{Left: e.rebuildTree(s.bs), Right: e.rebuildTree(s.ps)}
+}

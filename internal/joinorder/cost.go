@@ -7,7 +7,6 @@ import (
 	"t3/internal/engine/plan"
 	"t3/internal/engine/stats"
 	"t3/internal/feature"
-	"t3/internal/treec"
 	"t3/internal/workload"
 )
 
@@ -40,6 +39,24 @@ func (c *CoutModel) Total(s State) float64 { return s.(float64) }
 // Calls reports model invocations.
 func (c *CoutModel) Calls() int { return c.calls }
 
+// Predictor is the scalar evaluation surface shared by the compiled tree
+// tiers: both *treec.Flat and *treec.Packed satisfy it, so the cost model can
+// run on either tier without caring which.
+type Predictor interface {
+	Predict(v []float64) float64
+}
+
+// scaleSeconds converts a raw model score (the transformed per-tuple target)
+// into pipeline seconds for the given source cardinality. Both the scalar and
+// the batched costing paths share this exact function, which is part of the
+// bit-identical determinism contract between them.
+func scaleSeconds(raw, srcCard float64) float64 {
+	if srcCard < 1 {
+		srcCard = 1
+	}
+	return benchdata.InverseTarget(raw) * srcCard
+}
+
 // t3State is the per-subtree memo of the T3 cost model: the total predicted
 // time of all closed pipelines plus the feature vector of the still-open
 // pipeline (§5.5: "we cache the cost for all other pipelines that already
@@ -50,47 +67,35 @@ type t3State struct {
 	openSrcCard   float64   // scan cardinality driving the open pipeline
 	card          float64   // output cardinality of the subtree
 	width         float64   // approximate tuple width of the subtree output
+	// openPred memoizes the open pipeline's predicted seconds. States are
+	// immutable once created — extending the pipeline builds a new state —
+	// so the memo can never go stale; it is simply computed on first use.
+	openPred   float64
+	openPredOK bool
 }
 
 // T3CostModel prices join trees with a trained T3 model. Every DP step
-// makes exactly two model calls: one for the build side's now-closed
-// pipeline, one for the probe side's extended open pipeline.
+// makes at most two model calls: one for the build side's now-closed
+// pipeline, and one — memoized per state — for the extended open pipeline
+// the first time Total compares it.
 type T3CostModel struct {
-	flat   *treec.Flat
-	reg    *feature.Registry
+	pred   Predictor
+	feat   *t3feat
 	oracle Oracle
-	spec   *workload.JoinSpec
-	rels   *specEstimates
 	calls  int
 
-	// cached registry locations
-	locScanCount, locScanCard, locScanOutPct                      int
-	locBuildCount, locBuildCard, locBuildSize, locBuildPct        int
-	locProbeCount, locProbeHT, locProbeRight, locProbeOut, locPOS int
+	// NoMemo disables the open-pipeline prediction memo, restoring the
+	// historical behaviour of re-running the model on every Total call. It
+	// exists only as the benchmark baseline for the batched path; leave it
+	// false everywhere else.
+	NoMemo bool
 }
 
-// NewT3Cost builds the T3 cost model. flat is the compiled model and reg its
-// registry; the oracle supplies subset cardinalities.
-func NewT3Cost(flat *treec.Flat, reg *feature.Registry, inst *workload.Instance, spec *workload.JoinSpec, oracle Oracle) *T3CostModel {
-	m := &T3CostModel{flat: flat, reg: reg, oracle: oracle, spec: spec}
-	m.rels = newSpecEstimator(inst, spec)
-
-	scan := feature.StageKey{Op: plan.TableScanOp, Stage: plan.StageScan}
-	build := feature.StageKey{Op: plan.HashJoinOp, Stage: plan.StageBuild}
-	probe := feature.StageKey{Op: plan.HashJoinOp, Stage: plan.StageProbe}
-	m.locScanCount = reg.Location(scan, feature.FCount)
-	m.locScanCard = reg.Location(scan, feature.FInCard)
-	m.locScanOutPct = reg.Location(scan, feature.FOutPct)
-	m.locBuildCount = reg.Location(build, feature.FCount)
-	m.locBuildCard = reg.Location(build, feature.FInCard)
-	m.locBuildSize = reg.Location(build, feature.FInSize)
-	m.locBuildPct = reg.Location(build, feature.FInPct)
-	m.locProbeCount = reg.Location(probe, feature.FCount)
-	m.locProbeHT = reg.Location(probe, feature.FHTCard)
-	m.locProbeRight = reg.Location(probe, feature.FRightPct)
-	m.locProbeOut = reg.Location(probe, feature.FOutPct)
-	m.locPOS = reg.Location(probe, feature.FOutSize)
-	return m
+// NewT3Cost builds the T3 cost model. pred is a compiled tier (*treec.Flat or
+// *treec.Packed) and reg its registry; the oracle supplies subset
+// cardinalities.
+func NewT3Cost(pred Predictor, reg *feature.Registry, inst *workload.Instance, spec *workload.JoinSpec, oracle Oracle) *T3CostModel {
+	return &T3CostModel{pred: pred, feat: newT3Feat(reg, inst, spec), oracle: oracle}
 }
 
 // Name identifies the model.
@@ -100,81 +105,37 @@ func (m *T3CostModel) Name() string { return "T3" }
 // seconds.
 func (m *T3CostModel) predict(vec []float64, srcCard float64) float64 {
 	m.calls++
-	perTuple := benchdata.InverseTarget(m.flat.Predict(vec))
-	if srcCard < 1 {
-		srcCard = 1
-	}
-	return perTuple * srcCard
+	return scaleSeconds(m.pred.Predict(vec), srcCard)
 }
 
 // Leaf starts an open pipeline with the relation's scan stage.
 func (m *T3CostModel) Leaf(rel int) State {
-	vec := make([]float64, m.reg.NumFeatures())
-	tableCard := m.rels.tableCards[rel]
-	relCard := m.rels.relCards[rel]
-	if m.locScanCount >= 0 {
-		vec[m.locScanCount] = 1
-	}
-	if m.locScanCard >= 0 {
-		vec[m.locScanCard] = tableCard
-	}
-	if m.locScanOutPct >= 0 && tableCard > 0 {
-		vec[m.locScanOutPct] = relCard / tableCard
-	}
-	for name, frac := range m.rels.exprPcts[rel] {
-		if i := m.reg.Location(feature.StageKey{Op: plan.TableScanOp, Stage: plan.StageScan}, name); i >= 0 {
-			vec[i] = frac
-		}
-	}
+	vec := make([]float64, m.feat.reg.NumFeatures())
+	srcCard, card, width := m.feat.leafInto(vec, rel)
 	return &t3State{
 		openVec:     vec,
-		openSrcCard: tableCard,
-		card:        relCard,
-		width:       m.rels.widths[rel],
+		openSrcCard: srcCard,
+		card:        card,
+		width:       width,
 	}
 }
 
 // Join closes the build side's pipeline with a build stage (one model call)
 // and extends the probe side's open pipeline with a probe stage (the second
-// model call happens when comparing totals).
+// model call happens lazily when Total first compares the new state).
 func (m *T3CostModel) Join(build, probe State, buildSet, probeSet uint64) State {
 	b := build.(*t3State)
 	p := probe.(*t3State)
 
 	// Close the build pipeline: append the hash-join build stage.
-	bvec := append([]float64(nil), b.openVec...)
-	if m.locBuildCount >= 0 {
-		bvec[m.locBuildCount]++
-	}
-	if m.locBuildCard >= 0 {
-		bvec[m.locBuildCard] += b.card
-	}
-	if m.locBuildSize >= 0 {
-		bvec[m.locBuildSize] += b.width
-	}
-	if m.locBuildPct >= 0 && b.openSrcCard > 0 {
-		bvec[m.locBuildPct] += b.card / b.openSrcCard
-	}
+	bvec := make([]float64, len(b.openVec))
+	m.feat.closeBuildInto(bvec, b.openVec, b.card, b.openSrcCard, b.width)
 	closed := b.closedSeconds + p.closedSeconds + m.predict(bvec, b.openSrcCard)
 
 	// Extend the probe pipeline.
 	outCard := m.oracle.Card(buildSet | probeSet)
-	pvec := append([]float64(nil), p.openVec...)
-	if m.locProbeCount >= 0 {
-		pvec[m.locProbeCount]++
-	}
-	if m.locProbeHT >= 0 {
-		pvec[m.locProbeHT] += b.card
-	}
-	if m.locProbeRight >= 0 && p.openSrcCard > 0 {
-		pvec[m.locProbeRight] += p.card / p.openSrcCard
-	}
-	if m.locProbeOut >= 0 && p.openSrcCard > 0 {
-		pvec[m.locProbeOut] += outCard / p.openSrcCard
-	}
-	if m.locPOS >= 0 {
-		pvec[m.locPOS] += p.width + b.width
-	}
+	pvec := make([]float64, len(p.openVec))
+	m.feat.extendProbeInto(pvec, p.openVec, b.card, b.width, p.card, p.openSrcCard, p.width, outCard)
 	return &t3State{
 		closedSeconds: closed,
 		openVec:       pvec,
@@ -184,15 +145,143 @@ func (m *T3CostModel) Join(build, probe State, buildSet, probeSet uint64) State 
 	}
 }
 
-// Total prices the state: closed pipelines plus the current open pipeline
-// (the second model call per DP step).
+// Total prices the state: closed pipelines plus the current open pipeline.
+// The open-pipeline prediction is computed once per state and memoized —
+// states are immutable, so repeated Total calls (the DP compares every
+// candidate against the running best) are lookups, not model runs.
 func (m *T3CostModel) Total(s State) float64 {
 	st := s.(*t3State)
-	return st.closedSeconds + m.predict(st.openVec, st.openSrcCard)
+	if m.NoMemo {
+		return st.closedSeconds + m.predict(st.openVec, st.openSrcCard)
+	}
+	if !st.openPredOK {
+		st.openPred = m.predict(st.openVec, st.openSrcCard)
+		st.openPredOK = true
+	}
+	return st.closedSeconds + st.openPred
 }
 
 // Calls reports model invocations.
 func (m *T3CostModel) Calls() int { return m.calls }
+
+// t3feat translates join-tree state transitions into T3 feature-vector
+// edits. It is shared verbatim by the scalar cost model and the level-batched
+// enumerator, so the two paths produce bit-identical vectors by construction.
+type t3feat struct {
+	reg  *feature.Registry
+	rels *specEstimates
+
+	// cached registry locations
+	locScanCount, locScanCard, locScanOutPct                      int
+	locBuildCount, locBuildCard, locBuildSize, locBuildPct        int
+	locProbeCount, locProbeHT, locProbeRight, locProbeOut, locPOS int
+	// scan-predicate expression-percentage locations per relation, resolved
+	// once so leaf vectors need no map walks.
+	exprLocs [][]exprLoc
+}
+
+// exprLoc pairs a resolved vector index with the relation's precomputed
+// expression percentage.
+type exprLoc struct {
+	idx int
+	pct float64
+}
+
+// newT3Feat resolves registry locations and derives per-relation estimates.
+func newT3Feat(reg *feature.Registry, inst *workload.Instance, spec *workload.JoinSpec) *t3feat {
+	f := &t3feat{reg: reg, rels: newSpecEstimator(inst, spec)}
+
+	scan := feature.StageKey{Op: plan.TableScanOp, Stage: plan.StageScan}
+	build := feature.StageKey{Op: plan.HashJoinOp, Stage: plan.StageBuild}
+	probe := feature.StageKey{Op: plan.HashJoinOp, Stage: plan.StageProbe}
+	f.locScanCount = reg.Location(scan, feature.FCount)
+	f.locScanCard = reg.Location(scan, feature.FInCard)
+	f.locScanOutPct = reg.Location(scan, feature.FOutPct)
+	f.locBuildCount = reg.Location(build, feature.FCount)
+	f.locBuildCard = reg.Location(build, feature.FInCard)
+	f.locBuildSize = reg.Location(build, feature.FInSize)
+	f.locBuildPct = reg.Location(build, feature.FInPct)
+	f.locProbeCount = reg.Location(probe, feature.FCount)
+	f.locProbeHT = reg.Location(probe, feature.FHTCard)
+	f.locProbeRight = reg.Location(probe, feature.FRightPct)
+	f.locProbeOut = reg.Location(probe, feature.FOutPct)
+	f.locPOS = reg.Location(probe, feature.FOutSize)
+
+	f.exprLocs = make([][]exprLoc, len(spec.Rels))
+	for rel := range spec.Rels {
+		for name, frac := range f.rels.exprPcts[rel] {
+			if i := reg.Location(scan, name); i >= 0 {
+				f.exprLocs[rel] = append(f.exprLocs[rel], exprLoc{idx: i, pct: frac})
+			}
+		}
+	}
+	return f
+}
+
+// leafInto writes relation rel's scan-stage vector into vec (zeroing it
+// first) and returns the pipeline source cardinality, the relation's
+// estimated output cardinality, and its tuple width.
+func (f *t3feat) leafInto(vec []float64, rel int) (srcCard, card, width float64) {
+	for i := range vec {
+		vec[i] = 0
+	}
+	tableCard := f.rels.tableCards[rel]
+	relCard := f.rels.relCards[rel]
+	if f.locScanCount >= 0 {
+		vec[f.locScanCount] = 1
+	}
+	if f.locScanCard >= 0 {
+		vec[f.locScanCard] = tableCard
+	}
+	if f.locScanOutPct >= 0 && tableCard > 0 {
+		vec[f.locScanOutPct] = relCard / tableCard
+	}
+	for _, el := range f.exprLocs[rel] {
+		vec[el.idx] = el.pct
+	}
+	return tableCard, relCard, f.rels.widths[rel]
+}
+
+// closeBuildInto writes src extended by a hash-join build stage into dst
+// (dst and src must not overlap): the build side's open pipeline now ends by
+// materializing its hash table.
+func (f *t3feat) closeBuildInto(dst, src []float64, bCard, bSrcCard, bWidth float64) {
+	copy(dst, src)
+	if f.locBuildCount >= 0 {
+		dst[f.locBuildCount]++
+	}
+	if f.locBuildCard >= 0 {
+		dst[f.locBuildCard] += bCard
+	}
+	if f.locBuildSize >= 0 {
+		dst[f.locBuildSize] += bWidth
+	}
+	if f.locBuildPct >= 0 && bSrcCard > 0 {
+		dst[f.locBuildPct] += bCard / bSrcCard
+	}
+}
+
+// extendProbeInto writes src extended by a hash-join probe stage into dst
+// (dst and src must not overlap): the probe side's open pipeline now flows
+// through the new join.
+func (f *t3feat) extendProbeInto(dst, src []float64, bCard, bWidth, pCard, pSrcCard, pWidth, outCard float64) {
+	copy(dst, src)
+	if f.locProbeCount >= 0 {
+		dst[f.locProbeCount]++
+	}
+	if f.locProbeHT >= 0 {
+		dst[f.locProbeHT] += bCard
+	}
+	if f.locProbeRight >= 0 && pSrcCard > 0 {
+		dst[f.locProbeRight] += pCard / pSrcCard
+	}
+	if f.locProbeOut >= 0 && pSrcCard > 0 {
+		dst[f.locProbeOut] += outCard / pSrcCard
+	}
+	if f.locPOS >= 0 {
+		dst[f.locPOS] += pWidth + bWidth
+	}
+}
 
 // specEstimates precomputes per-relation data shared by oracles and the T3
 // cost model.

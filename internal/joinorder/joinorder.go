@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"time"
 
 	"t3/internal/engine/exec"
 	"t3/internal/engine/plan"
+	"t3/internal/obs"
 	"t3/internal/workload"
 )
 
@@ -49,18 +51,47 @@ type Oracle interface {
 	Card(set uint64) float64
 }
 
+// OracleCallCounter is implemented by oracles that count how often their
+// underlying cardinality source ran. The planner benchmarks surface these
+// counts next to model calls, so oracle cost can never masquerade as model
+// cost.
+type OracleCallCounter interface {
+	OracleCalls() int
+}
+
+// OracleCalls returns the oracle's underlying call count, or 0 when the
+// oracle does not track one.
+func OracleCalls(o Oracle) int {
+	if c, ok := o.(OracleCallCounter); ok {
+		return c.OracleCalls()
+	}
+	return 0
+}
+
+// exactMemoCap bounds the subset count an ExactOracle presizes its memo for:
+// beyond ~12 relations, presizing the full 2^n subset space would waste
+// memory on subsets the (connected, cross-product-free) DP never visits.
+const exactMemoCap = 1 << 12
+
 // ExactOracle executes subset joins on the engine (with memoization) — the
 // "cardinality oracle" of §5.5 providing correct cardinalities with low
 // latency.
 type ExactOracle struct {
-	Inst *workload.Instance
-	Spec *workload.JoinSpec
-	memo map[uint64]float64
+	Inst  *workload.Instance
+	Spec  *workload.JoinSpec
+	memo  map[uint64]float64
+	execs int
 }
 
-// NewExactOracle builds an exact oracle for the spec.
+// NewExactOracle builds an exact oracle for the spec. The memo is presized
+// from the spec's subset count (2^n, capped) so steady-state optimization
+// never rehashes it.
 func NewExactOracle(inst *workload.Instance, spec *workload.JoinSpec) *ExactOracle {
-	return &ExactOracle{Inst: inst, Spec: spec, memo: make(map[uint64]float64)}
+	size := exactMemoCap
+	if n := len(spec.Rels); n < 12 {
+		size = 1 << uint(n)
+	}
+	return &ExactOracle{Inst: inst, Spec: spec, memo: make(map[uint64]float64, size)}
 }
 
 // Card returns the exact cardinality of joining the subset.
@@ -68,6 +99,7 @@ func (o *ExactOracle) Card(set uint64) float64 {
 	if v, ok := o.memo[set]; ok {
 		return v
 	}
+	o.execs++
 	root := subsetPlan(o.Inst, o.Spec, set)
 	res, err := exec.Run(root, false)
 	if err != nil {
@@ -78,6 +110,10 @@ func (o *ExactOracle) Card(set uint64) float64 {
 	return v
 }
 
+// OracleCalls reports how many subset joins the oracle actually executed
+// (memo hits excluded).
+func (o *ExactOracle) OracleCalls() int { return o.execs }
+
 // EstOracle estimates subset cardinalities from base statistics with
 // textbook formulas (per-relation filtered cards, 1/max-distinct per edge) —
 // the estimate-based mode used for the "native optimizer" comparison.
@@ -86,6 +122,7 @@ type EstOracle struct {
 	// EdgeSel[i] is the selectivity of spec edge i.
 	EdgeSel []float64
 	Spec    *workload.JoinSpec
+	calls   int
 }
 
 // NewEstOracle derives an estimate oracle from instance statistics. Relation
@@ -101,6 +138,7 @@ func NewEstOracle(inst *workload.Instance, spec *workload.JoinSpec) *EstOracle {
 // Card multiplies filtered relation cardinalities with the selectivities of
 // all edges internal to the subset.
 func (o *EstOracle) Card(set uint64) float64 {
+	o.calls++
 	card := 1.0
 	for r := 0; r < len(o.RelCard); r++ {
 		if set&(1<<uint(r)) != 0 {
@@ -114,6 +152,41 @@ func (o *EstOracle) Card(set uint64) float64 {
 	}
 	return card
 }
+
+// OracleCalls reports how many estimates the oracle computed.
+func (o *EstOracle) OracleCalls() int { return o.calls }
+
+// MemoOracle caches another oracle's subset cardinalities, so repeated DP
+// candidates pay one map lookup instead of recomputation. The planner
+// benchmarks wrap their oracles in one per timed run, keeping oracle cost
+// identical — and negligible — across the costing paths being compared.
+type MemoOracle struct {
+	Inner Oracle
+	memo  map[uint64]float64
+}
+
+// NewMemoOracle builds a memoizing wrapper presized for an n-relation spec.
+func NewMemoOracle(inner Oracle, n int) *MemoOracle {
+	size := exactMemoCap
+	if n < 12 {
+		size = 1 << uint(n)
+	}
+	return &MemoOracle{Inner: inner, memo: make(map[uint64]float64, size)}
+}
+
+// Card returns the memoized cardinality of the subset.
+func (o *MemoOracle) Card(set uint64) float64 {
+	if v, ok := o.memo[set]; ok {
+		return v
+	}
+	v := o.Inner.Card(set)
+	o.memo[set] = v
+	return v
+}
+
+// OracleCalls reports how many subsets missed the memo and hit the inner
+// oracle.
+func (o *MemoOracle) OracleCalls() int { return len(o.memo) }
 
 // CostModel prices join trees during dynamic programming. Implementations
 // carry per-subtree state (opaque to the DP).
@@ -144,6 +217,15 @@ type Result struct {
 	Cost float64
 	// ModelCalls counts cost-model invocations during optimization.
 	ModelCalls int
+	// DPSteps counts candidate joins the dynamic program evaluated.
+	DPSteps int
+	// Batches and MaxBatch describe the level-batched path's prediction
+	// batches (zero on the scalar path).
+	Batches  int
+	MaxBatch int
+	// Pruned counts candidates the batched path rejected through the exact
+	// incumbent bound without ever featurizing or predicting them.
+	Pruned int
 }
 
 // DPSize runs the DPsize dynamic program over the join graph, returning the
@@ -156,22 +238,12 @@ func DPSize(spec *workload.JoinSpec, cm CostModel) (*Result, error) {
 	if n > 62 {
 		return nil, fmt.Errorf("joinorder: %d relations exceed bitmask capacity", n)
 	}
-	// adjacency[r] = bitmask of relations connected to r.
-	adjacency := make([]uint64, n)
-	for _, e := range spec.Edges {
-		adjacency[e.A] |= 1 << uint(e.B)
-		adjacency[e.B] |= 1 << uint(e.A)
-	}
-	connected := func(s1, s2 uint64) bool {
-		for r := 0; r < n; r++ {
-			if s1&(1<<uint(r)) != 0 && adjacency[r]&s2 != 0 {
-				return true
-			}
-		}
-		return false
-	}
+	adjacency := buildAdjacency(spec, n)
+	connected := func(s1, s2 uint64) bool { return setsConnected(adjacency, s1, s2, n) }
 
+	start := time.Now()
 	startCalls := cm.Calls()
+	steps := 0
 	dp := make(map[uint64]dpEntry)
 	bySize := make([][]uint64, n+1)
 	for r := 0; r < n; r++ {
@@ -201,6 +273,7 @@ func DPSize(spec *workload.JoinSpec, cm CostModel) (*Result, error) {
 						} else {
 							build, probe = eb, ea
 						}
+						steps++
 						st := cm.Join(build.state, probe.state, bs, ps)
 						set := a | b
 						cur, ok := dp[set]
@@ -223,7 +296,38 @@ func DPSize(spec *workload.JoinSpec, cm CostModel) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("joinorder: join graph of %s is disconnected", spec.Name)
 	}
-	return &Result{Tree: e.tree, Cost: cm.Total(e.state), ModelCalls: cm.Calls() - startCalls}, nil
+	res := &Result{Tree: e.tree, Cost: cm.Total(e.state), ModelCalls: cm.Calls() - startCalls, DPSteps: steps}
+	recordEnumeration(res, time.Since(start))
+	return res, nil
+}
+
+// buildAdjacency returns, for each relation, the bitmask of relations it
+// shares an equi-edge with.
+func buildAdjacency(spec *workload.JoinSpec, n int) []uint64 {
+	adjacency := make([]uint64, n)
+	for _, e := range spec.Edges {
+		adjacency[e.A] |= 1 << uint(e.B)
+		adjacency[e.B] |= 1 << uint(e.A)
+	}
+	return adjacency
+}
+
+// setsConnected reports whether any equi-edge crosses the two disjoint
+// relation sets.
+func setsConnected(adjacency []uint64, s1, s2 uint64, n int) bool {
+	for r := 0; r < n; r++ {
+		if s1&(1<<uint(r)) != 0 && adjacency[r]&s2 != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// recordEnumeration publishes one enumeration run's planner metrics.
+func recordEnumeration(res *Result, elapsed time.Duration) {
+	obs.JoinorderDPSteps.Add(uint64(res.DPSteps))
+	obs.JoinorderModelCalls.Add(uint64(res.ModelCalls))
+	obs.JoinorderEnumTime.Observe(elapsed)
 }
 
 // Greedy implements a GOO-style greedy operator ordering: repeatedly join

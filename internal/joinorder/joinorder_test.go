@@ -164,10 +164,12 @@ func TestDPSizeWithT3CostModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// §5.5: T3 makes two model calls per new subtree, i.e. twice Cout's
-		// count (Total is called on every candidate, so at least 2x).
-		if res.ModelCalls < 2*coutRes.ModelCalls {
-			t.Errorf("%s: T3 calls %d < 2x Cout calls %d", sp.Name, res.ModelCalls, coutRes.ModelCalls)
+		// §5.5: T3 prices two pipelines per candidate but memoizes the open
+		// side, so calls land strictly between Cout's one-per-candidate and
+		// the un-memoized two-per-candidate. (TestTotalMemoizationCutsCalls
+		// pins the memo's saving against the NoMemo baseline.)
+		if res.ModelCalls <= coutRes.ModelCalls || res.ModelCalls > 2*coutRes.ModelCalls {
+			t.Errorf("%s: T3 calls %d outside (%d, %d]", sp.Name, res.ModelCalls, coutRes.ModelCalls, 2*coutRes.ModelCalls)
 		}
 		// The chosen tree must execute correctly.
 		p := TreeToPlan(in, sp, res.Tree)

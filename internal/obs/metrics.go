@@ -131,6 +131,25 @@ var (
 	ServeCoalesceBatchSize = Default.NewHistogram("t3_serve_coalesce_batch_size",
 		"Requests per coalesced prediction dispatch.", UnitCount)
 
+	// Join-order enumeration (internal/joinorder): DPsize driven by the
+	// T3 cost model, scalar or level-batched.
+
+	// JoinorderDPSteps counts candidate (build, probe) pairs costed by the
+	// DP enumeration loop.
+	JoinorderDPSteps = Default.NewCounter("t3_joinorder_dp_steps_total",
+		"Candidate join pairs costed by DPsize enumeration.")
+	// JoinorderModelCalls counts model predictions issued while enumerating.
+	JoinorderModelCalls = Default.NewCounter("t3_joinorder_model_calls_total",
+		"Model predictions issued by join-order enumeration.")
+	// JoinorderBatchSize is the distribution of batched-prediction flush
+	// sizes (feature rows per PredictBatchInto call) in the level-batched
+	// enumerator.
+	JoinorderBatchSize = Default.NewHistogram("t3_joinorder_batch_size",
+		"Feature rows per batched planner prediction flush.", UnitCount)
+	// JoinorderEnumTime is the wall time of one full DPsize enumeration.
+	JoinorderEnumTime = Default.NewHistogram("t3_joinorder_enum_seconds",
+		"Wall time per join-order enumeration.", UnitNanoseconds)
+
 	// Pipeline execution (internal/engine/exec), the ground-truth side of
 	// drift accounting.
 

@@ -73,8 +73,27 @@ type Result struct {
 	DispatchOverhead time.Duration
 }
 
-// Simulate schedules the jobs onto the given number of clusters.
+// Simulate schedules the jobs onto the given number of clusters. Each job's
+// prediction latency serializes on the dispatcher before the job can be
+// placed — the paper's "each query must wait for its prediction" regime.
 func Simulate(jobs []Job, clusters int, policy Policy) Result {
+	return simulate(jobs, clusters, policy, 0, true)
+}
+
+// SimulateBatchDispatch schedules like Simulate, except the dispatcher prices
+// the entire queue with one batched prediction up front: batchLatency is
+// charged once to the dispatcher clock (and reported as DispatchOverhead),
+// and the per-job PredLatency fields are ignored. This is the scheduling
+// counterpart of level-batched planner costing — the spike of queued queries
+// is exactly a batch the packed tier can price in one call.
+func SimulateBatchDispatch(jobs []Job, clusters int, policy Policy, batchLatency time.Duration) Result {
+	return simulate(jobs, clusters, policy, batchLatency, false)
+}
+
+// simulate is the shared discrete simulator core: upfront is charged to the
+// dispatcher clock before any placement; perJob charges each job's
+// PredLatency as it is dispatched.
+func simulate(jobs []Job, clusters int, policy Policy, upfront time.Duration, perJob bool) Result {
 	if clusters < 1 {
 		clusters = 1
 	}
@@ -94,15 +113,18 @@ func Simulate(jobs []Job, clusters int, policy Policy) Result {
 	predLoad := make([]time.Duration, clusters)
 	completions := make([]time.Duration, 0, len(jobs))
 
-	var dispatch time.Duration // dispatcher clock
+	dispatch := upfront // dispatcher clock
 	var res Result
 	res.Policy = policy
 	res.Clusters = clusters
+	res.DispatchOverhead = upfront
 	for i, oi := range order {
 		j := jobs[oi]
-		// The dispatcher pays the prediction latency before placing.
-		dispatch += j.PredLatency
-		res.DispatchOverhead += j.PredLatency
+		if perJob {
+			// The dispatcher pays the prediction latency before placing.
+			dispatch += j.PredLatency
+			res.DispatchOverhead += j.PredLatency
+		}
 
 		var c int
 		switch policy {

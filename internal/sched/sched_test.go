@@ -124,6 +124,56 @@ func TestEmptyJobs(t *testing.T) {
 	}
 }
 
+func TestBatchDispatchIsUniformShift(t *testing.T) {
+	// One upfront batch latency L shifts every placement — and therefore
+	// every completion — by exactly L relative to latency-free dispatch:
+	// the dispatcher clock is the constant L, so start = free + L by
+	// induction. Per-job PredLatency must be ignored entirely.
+	jobs := mkJobs(200, 0.1, 3*time.Millisecond, 7)
+	free := make([]Job, len(jobs))
+	copy(free, jobs)
+	for i := range free {
+		free[i].PredLatency = 0
+	}
+	const L = 25 * time.Millisecond
+	for _, p := range []Policy{RoundRobin, LeastLoaded, LongestFirst} {
+		base := Simulate(free, 4, p)
+		batch := SimulateBatchDispatch(jobs, 4, p, L)
+		if batch.Makespan != base.Makespan+L {
+			t.Errorf("%v: batch makespan %v != base %v + %v", p, batch.Makespan, base.Makespan, L)
+		}
+		if batch.MeanCompletion != base.MeanCompletion+L {
+			t.Errorf("%v: batch mean %v != base %v + %v", p, batch.MeanCompletion, base.MeanCompletion, L)
+		}
+		if batch.DispatchOverhead != L {
+			t.Errorf("%v: overhead %v != batch latency %v", p, batch.DispatchOverhead, L)
+		}
+		// Zero-latency batch dispatch equals zero-latency serial dispatch.
+		if zero := SimulateBatchDispatch(jobs, 4, p, 0); zero.Makespan != base.Makespan || zero.MeanCompletion != base.MeanCompletion {
+			t.Errorf("%v: zero-latency batch %+v != zero-latency serial %+v", p, zero, base)
+		}
+	}
+}
+
+func TestBatchDispatchBeatsSerializedPredictions(t *testing.T) {
+	// When serialized per-job predictions make the dispatcher the bottleneck
+	// (the paper's NN-class regime), one amortized batched prediction wins on
+	// every axis.
+	jobs := mkJobs(500, 0.1, 10*time.Millisecond, 8)
+	serial := Simulate(jobs, 8, LongestFirst)
+	batch := SimulateBatchDispatch(jobs, 8, LongestFirst, 20*time.Millisecond)
+	if batch.DispatchOverhead >= serial.DispatchOverhead {
+		t.Fatal("batched dispatch should cut dispatcher overhead")
+	}
+	if batch.Makespan >= serial.Makespan {
+		t.Errorf("batched makespan %v should beat serialized %v", batch.Makespan, serial.Makespan)
+	}
+	if batch.MeanCompletion >= serial.MeanCompletion {
+		t.Errorf("batched mean completion %v should beat serialized %v",
+			batch.MeanCompletion, serial.MeanCompletion)
+	}
+}
+
 func TestPolicyNames(t *testing.T) {
 	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" || LongestFirst.String() != "longest-first" {
 		t.Error("policy names wrong")

@@ -3,6 +3,7 @@ package treec
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"t3/internal/gbdt"
 	"t3/internal/par"
@@ -46,6 +47,11 @@ type Packed struct {
 	// Exact is true when every threshold round-trips through float32, i.e.
 	// predictions are bit-identical to the float64 Flat tier for all inputs.
 	Exact bool
+
+	// rowsL is the flat-row batch kernel's private layout (see rows.go),
+	// compiled lazily on first use.
+	rowsOnce sync.Once
+	rowsL    *rowsLayout
 }
 
 // RoundThreshold32 returns the smallest float32 whose float64 value is ≥ t —
@@ -211,6 +217,72 @@ func (p *Packed) PredictBatchParallel(vs [][]float64, workers int) []float64 {
 		p.PredictInto(vs[lo:hi], out[lo:hi])
 	})
 	return out
+}
+
+// PredictRowsInto evaluates nrows = len(out) row-major feature vectors stored
+// contiguously in rows (row i is rows[i*stride : (i+1)*stride]) into the
+// caller-owned out slice, fanning block-aligned chunks across the given pool
+// (nil or single-worker runs serially and allocation-free). Every row's tree
+// contributions are added in tree order regardless of blocking, chunking, or
+// worker count, so each out[i] is bit-identical to Predict(row i) — the
+// determinism contract the level-batched join enumerator is built on.
+func (p *Packed) PredictRowsInto(rows []float64, stride int, out []float64, pool *par.Pool) {
+	nrows := len(out)
+	if stride <= 0 || len(rows) < nrows*stride {
+		panic(fmt.Sprintf("treec: PredictRowsInto rows has %d floats, want >= %d x %d", len(rows), nrows, stride))
+	}
+	if pool.Workers() > 1 && nrows >= 2*predictBlockK {
+		chunk := nrows/(4*pool.Workers()) + 1
+		if r := chunk % predictBlockK; r != 0 {
+			chunk += predictBlockK - r
+		}
+		pool.For(nrows, chunk, func(lo, hi int) {
+			p.predictRows(rows[lo*stride:hi*stride], stride, out[lo:hi])
+		})
+		return
+	}
+	p.predictRows(rows[:nrows*stride], stride, out)
+}
+
+// predictRows is the serial flat-row kernel behind PredictRowsInto: the
+// branchless fixed-depth layout when the ensemble fits it (see rows.go), the
+// generic blocked walker otherwise.
+func (p *Packed) predictRows(rows []float64, stride int, out []float64) {
+	if g := p.rowsKernel(); g.ok {
+		p.predictRowsFast(g, rows, stride, out)
+		return
+	}
+	p.predictRowsBlocked(rows, stride, out)
+}
+
+// predictRowsBlocked is the generic blocked fallback walker.
+func (p *Packed) predictRowsBlocked(rows []float64, stride int, out []float64) {
+	nodes, leaves := p.Nodes, p.Leaves
+	for lo := 0; lo < len(out); lo += predictBlockK {
+		hi := min(lo+predictBlockK, len(out))
+		o := out[lo:hi]
+		for k := range o {
+			o[k] = p.Base
+		}
+		for _, root := range p.Roots {
+			for k := range o {
+				v := rows[(lo+k)*stride : (lo+k+1)*stride]
+				i := root
+				for {
+					n := &nodes[i]
+					if v[n.Feature] <= float64(n.Thr) {
+						i = n.Left
+					} else {
+						i = n.Right
+					}
+					if i < 0 {
+						o[k] += leaves[^i]
+						break
+					}
+				}
+			}
+		}
+	}
 }
 
 // InRoundingGap reports whether any feature value of v lies inside the

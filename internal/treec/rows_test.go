@@ -1,0 +1,65 @@
+package treec
+
+import (
+	"math/rand"
+	"testing"
+
+	"t3/internal/par"
+)
+
+// TestPredictRowsIntoMatchesPredict pins the flat-row batch kernel's
+// determinism contract: every row of a contiguous row-major arena must score
+// bit-identically to a scalar Predict of the same vector, for any row count
+// (block boundaries included) and any worker pool.
+func TestPredictRowsIntoMatchesPredict(t *testing.T) {
+	m := trainToy(t, 30, 12, 36)
+	p := Pack(m)
+	rng := rand.New(rand.NewSource(37))
+	const stride = 3
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 100, 1000} {
+		rows := make([]float64, n*stride)
+		for i := 0; i < n; i++ {
+			rows[i*stride+0] = rng.Float64() * 8
+			rows[i*stride+1] = rng.Float64() * 200
+			rows[i*stride+2] = float64(rng.Intn(10))
+		}
+		out := make([]float64, n)
+		p.PredictRowsInto(rows, stride, out, nil)
+		for i := 0; i < n; i++ {
+			if want := p.Predict(rows[i*stride : (i+1)*stride]); out[i] != want {
+				t.Fatalf("n=%d row %d: PredictRowsInto %v != Predict %v", n, i, out[i], want)
+			}
+		}
+		for _, workers := range []int{1, 2, 5, 8} {
+			par := make([]float64, n)
+			p.PredictRowsInto(rows, stride, par, parPool(workers))
+			for i := range out {
+				if par[i] != out[i] {
+					t.Fatalf("n=%d workers=%d row %d: %v != %v", n, workers, i, par[i], out[i])
+				}
+			}
+		}
+	}
+}
+
+func parPool(workers int) *par.Pool { return par.Sized(workers) }
+
+// TestPredictRowsIntoZeroAlloc: the serial flat-row kernel must not allocate.
+func TestPredictRowsIntoZeroAlloc(t *testing.T) {
+	m := trainToy(t, 30, 12, 38)
+	p := Pack(m)
+	rng := rand.New(rand.NewSource(39))
+	const stride = 3
+	n := 64
+	rows := make([]float64, n*stride)
+	for i := range rows {
+		rows[i] = rng.Float64() * 50
+	}
+	out := make([]float64, n)
+	p.PredictRowsInto(rows, stride, out, nil) // build the lazy row-kernel layout
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.PredictRowsInto(rows, stride, out, nil)
+	}); allocs != 0 {
+		t.Fatalf("PredictRowsInto allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"t3/internal/engine/expr"
+	"t3/internal/engine/storage"
+)
+
+// Synthetic join-graph workloads for the planner benchmarks and the
+// batched-vs-scalar equivalence tests. JOBJoinSpecs tops out at 6 relations;
+// these generators produce seeded chain/star/clique graphs up to the DP's
+// bitmask capacity, with per-relation cardinalities and predicate
+// selectivities varied enough that join order matters.
+
+// Join-graph shapes understood by SyntheticJoinSpec.
+const (
+	ShapeChain  = "chain"
+	ShapeStar   = "star"
+	ShapeClique = "clique"
+)
+
+// SyntheticJoinInstance generates a database of n tables s0..s{n-1}, each with
+// a dense id, a shared-domain join key k (so any pair of tables joins
+// meaningfully), a predicate column v, and — on odd tables — an extra payload
+// column for width variety. Row counts vary per table deterministically from
+// the seed.
+func SyntheticJoinInstance(n, baseRows int, seed int64) *Instance {
+	if baseRows < 32 {
+		baseRows = 32
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keySpace := baseRows / 4
+	if keySpace < 8 {
+		keySpace = 8
+	}
+	spec := InstanceSpec{Name: fmt.Sprintf("synjoin-n%d-s%d", n, seed), Seed: seed}
+	for i := 0; i < n; i++ {
+		rows := baseRows/4 + rng.Intn(baseRows)
+		cols := []ColSpec{
+			{Name: "id", Kind: storage.Int64, Dist: DistSeq},
+			{Name: "k", Kind: storage.Int64, Dist: DistUniformInt, Min: 0, Max: float64(keySpace - 1)},
+			{Name: "v", Kind: storage.Float64, Dist: DistUniformFloat, Min: 0, Max: 1},
+		}
+		if i%2 == 1 {
+			cols = append(cols, ColSpec{Name: "p", Kind: storage.Float64, Dist: DistUniformFloat, Min: 0, Max: 1})
+		}
+		spec.Tables = append(spec.Tables, TableSpec{Name: fmt.Sprintf("s%d", i), Rows: rows, Cols: cols})
+	}
+	return MustGenerate(spec)
+}
+
+// SyntheticJoinSpec builds a JoinSpec of the given shape over the instance's
+// first n tables (which must exist, e.g. via SyntheticJoinInstance): "chain"
+// links i—i+1, "star" links 0—i, "clique" links every pair. All edges join on
+// the shared key column; most relations carry a seeded selective predicate on
+// v so filtered cardinalities differ across relations.
+func SyntheticJoinSpec(inst *Instance, shape string, n int, seed int64) *JoinSpec {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	sp := &JoinSpec{Name: fmt.Sprintf("%s-%d-s%d", shape, n, seed)}
+	for i := 0; i < n; i++ {
+		t := inst.Table(fmt.Sprintf("s%d", i))
+		cols := make([]int, len(t.Columns))
+		for ci := range cols {
+			cols[ci] = ci
+		}
+		rs := RelSpec{Table: t.Name, ScanCols: cols}
+		if rng.Float64() < 0.6 {
+			vc := &t.Columns[2]
+			sel := 0.15 + 0.7*rng.Float64()
+			ref := expr.Col(2, vc.Name, vc.Kind)
+			rs.Preds = []expr.BoolExpr{expr.NewCmp(expr.Le, ref, expr.ConstFloat(sel))}
+		}
+		sp.Rels = append(sp.Rels, rs)
+	}
+	// Key column k sits at scan position 1 in every relation.
+	addEdge := func(a, b int) {
+		sp.Edges = append(sp.Edges, EdgeSpec{A: a, B: b, ACol: 1, BCol: 1})
+	}
+	switch shape {
+	case ShapeChain:
+		for i := 0; i+1 < n; i++ {
+			addEdge(i, i+1)
+		}
+	case ShapeStar:
+		for i := 1; i < n; i++ {
+			addEdge(0, i)
+		}
+	case ShapeClique:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				addEdge(i, j)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown join shape %q", shape))
+	}
+	return sp
+}
+
+// SyntheticJoinBench generates an instance and a spec in one call — the
+// planner benchmark's per-case entry point.
+func SyntheticJoinBench(shape string, n, baseRows int, seed int64) (*Instance, *JoinSpec) {
+	inst := SyntheticJoinInstance(n, baseRows, seed)
+	return inst, SyntheticJoinSpec(inst, shape, n, seed)
+}

@@ -200,6 +200,40 @@ func (s *server) handleDebugDrift(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleDebugCtrl reports the retrain control plane's state. POST with
+// ?action=retrain starts an episode by hand (e.g. after deploying a new
+// workload); ?action=rollback restores the previous registry version.
+func (s *server) handleDebugCtrl(w http.ResponseWriter, r *http.Request) {
+	if s.ctrl == nil {
+		httpError(w, http.StatusNotFound, "retraining disabled (start t3serve with -retrain-registry)")
+		return
+	}
+	if r.Method == http.MethodPost {
+		switch action := r.URL.Query().Get("action"); action {
+		case "retrain":
+			res, err := s.ctrl.Retrain("manual via /debug/ctrl")
+			if err != nil {
+				httpError(w, http.StatusConflict, err.Error())
+				return
+			}
+			writeJSON(w, res)
+			return
+		case "rollback":
+			ver, err := s.ctrl.Rollback()
+			if err != nil {
+				httpError(w, http.StatusConflict, err.Error())
+				return
+			}
+			writeJSON(w, map[string]int{"restored_version": ver})
+			return
+		default:
+			httpError(w, http.StatusBadRequest, "action must be retrain or rollback")
+			return
+		}
+	}
+	writeJSON(w, s.ctrl.Status())
+}
+
 func nilIfZero(t time.Time) *time.Time {
 	if t.IsZero() {
 		return nil

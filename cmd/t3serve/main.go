@@ -10,6 +10,12 @@
 //	        [-workers 0] [-log text|json]
 //	        [-drift-tick 5s] [-drift-window 12] [-drift-threshold 2.0]
 //	        [-drift-quantile 0.9]
+//	        [-retrain-registry dir] [-retrain-instance tpch|tpcds|imdb]
+//	        [-retrain-scale 0.01] [-retrain-pergroup 1] [-retrain-runs 3]
+//	        [-retrain-workers 0] [-retrain-seed 1] [-retrain-holdout 0.25]
+//	        [-retrain-quantile 0.9] [-retrain-promote-ratio 0.95]
+//	        [-retrain-min-interval 10m] [-retrain-rollback-window 0]
+//	        [-retrain-keep 8]
 //
 // Endpoints:
 //
@@ -41,6 +47,19 @@
 //	                         to reproduce the prediction).
 //	GET  /debug/drift        windowed vs lifetime q-error quantiles and the
 //	                         drift alarm state (see -drift-* flags).
+//	GET  /debug/ctrl         the retrain control plane: live/previous registry
+//	                         versions, episode counts, last shadow comparison.
+//	                         POST ?action=retrain starts an episode by hand,
+//	                         POST ?action=rollback restores the previous
+//	                         registry version. Requires -retrain-registry.
+//
+// With -retrain-registry the drift alarm closes the loop: the controller
+// (internal/ctrl) collects fresh labels from the configured workload,
+// retrains, shadow-evaluates the candidate against the live model on
+// held-out labels plus the worst-misprediction exemplars, and promotes
+// winners through the same atomic swap /reload uses — writing every
+// promoted model to the versioned registry first so a rollback can restore
+// the prior version bit-identically.
 //
 // With -tcp the same binary wire protocol is served on a raw TCP listener:
 // any number of length-prefixed request frames per connection, one response
@@ -73,11 +92,14 @@ import (
 	"time"
 
 	"t3"
+	"t3/internal/ctrl"
 	"t3/internal/obs"
 	"t3/internal/obs/trace"
 	"t3/internal/planio"
+	"t3/internal/registry"
 	"t3/internal/serve"
 	"t3/internal/wire"
+	"t3/internal/workload"
 )
 
 // HTTP serving metrics, alongside the built-in T3 metrics on obs.Default.
@@ -101,6 +123,8 @@ type server struct {
 	reloadMu  sync.Mutex
 	log       *slog.Logger
 	drift     *trace.Detector
+	// ctrl is the retrain control plane (nil unless -retrain-registry).
+	ctrl *ctrl.Controller
 }
 
 func (s *server) model() *t3.Model { return s.core.Model() }
@@ -305,6 +329,20 @@ func main() {
 		driftWindow    = flag.Int("drift-window", 12, "drift window size in epochs (span = (epochs-1) x tick)")
 		driftThreshold = flag.Float64("drift-threshold", 2.0, "windowed q-error quantile that raises t3_drift_alarm")
 		driftQuantile  = flag.Float64("drift-quantile", 0.9, "watched q-error quantile")
+
+		retrainRegistry = flag.String("retrain-registry", "", "model registry directory; enables drift-triggered retraining")
+		retrainInstance = flag.String("retrain-instance", "tpch", "retraining workload schema: tpch|tpcds|imdb")
+		retrainScale    = flag.Float64("retrain-scale", 0.01, "retraining instance scale factor")
+		retrainPerGroup = flag.Int("retrain-pergroup", 1, "retraining queries per structure group")
+		retrainRuns     = flag.Int("retrain-runs", 3, "timing runs per retraining query")
+		retrainWorkers  = flag.Int("retrain-workers", 0, "label-collection workers (0 = GOMAXPROCS)")
+		retrainSeed     = flag.Int64("retrain-seed", 1, "retraining workload generation seed")
+		retrainHoldout  = flag.Float64("retrain-holdout", 0.25, "fraction of labels held out for shadow evaluation")
+		retrainQuantile = flag.Float64("retrain-quantile", 0.9, "shadow q-error quantile candidates are judged on")
+		retrainPromote  = flag.Float64("retrain-promote-ratio", 0.95, "promote when candidate quantile <= ratio x live quantile")
+		retrainInterval = flag.Duration("retrain-min-interval", 10*time.Minute, "minimum spacing between retrain episodes")
+		retrainRollback = flag.Duration("retrain-rollback-window", 0, "drift alarm within this span after a promotion rolls it back (0 disables)")
+		retrainKeep     = flag.Int("retrain-keep", 8, "registry versions kept by GC")
 	)
 	flag.Parse()
 	logger := obs.SetupLogging(os.Stderr, *logFormat, *verbose)
@@ -342,6 +380,57 @@ func main() {
 	})
 	s := &server{core: core, modelPath: *modelPath, log: logger, drift: drift}
 
+	if *retrainRegistry != "" {
+		var spec workload.InstanceSpec
+		switch *retrainInstance {
+		case "tpch":
+			spec = workload.TPCHSpec("tpch_retrain", *retrainScale, *retrainSeed)
+		case "tpcds":
+			spec = workload.TPCDSSpec("tpcds_retrain", *retrainScale*20, *retrainSeed)
+		case "imdb":
+			spec = workload.IMDBSpec("imdb_retrain", *retrainScale, *retrainSeed)
+		default:
+			logger.Error("unknown -retrain-instance", "instance", *retrainInstance)
+			os.Exit(1)
+		}
+		logger.Info("generating retraining instance", "schema", *retrainInstance, "scale", *retrainScale)
+		inst, err := workload.Generate(spec)
+		if err != nil {
+			logger.Error("generating retraining instance", "err", err)
+			os.Exit(1)
+		}
+		reg, err := registry.Open(*retrainRegistry)
+		if err != nil {
+			logger.Error("opening model registry", "dir", *retrainRegistry, "err", err)
+			os.Exit(1)
+		}
+		s.ctrl, err = ctrl.New(ctrl.Config{
+			Registry: reg,
+			Source: &ctrl.WorkloadSource{
+				Instance: inst,
+				Config: workload.CollectConfig{
+					Workers: *retrainWorkers, Runs: *retrainRuns,
+					PerGroup: *retrainPerGroup, Seed: *retrainSeed,
+				},
+			},
+			Swapper:         core,
+			Exemplars:       trace.Exemplars,
+			HoldoutFraction: *retrainHoldout,
+			ShadowQuantile:  *retrainQuantile,
+			PromoteRatio:    *retrainPromote,
+			MinInterval:     *retrainInterval,
+			RollbackWindow:  *retrainRollback,
+			KeepVersions:    *retrainKeep,
+		})
+		if err != nil {
+			logger.Error("starting retrain controller", "err", err)
+			os.Exit(1)
+		}
+		s.ctrl.Attach(drift)
+		logger.Info("retrain control plane enabled", "registry", reg.Dir(),
+			"instance", *retrainInstance, "promote_ratio", *retrainPromote)
+	}
+
 	// The metrics snapshot doubles as an expvar, so stock expvar tooling
 	// (and /debug/vars) sees the same numbers as /metrics.
 	expvar.Publish("t3_metrics", expvar.Func(func() any { return obs.Default.Snapshot() }))
@@ -361,13 +450,18 @@ func main() {
 	http.HandleFunc("/debug/worst", instrument(logger, "debug.worst", handleDebugWorst))
 	http.HandleFunc("/debug/worst/frame", instrument(logger, "debug.worst.frame", handleDebugWorstFrame))
 	http.HandleFunc("/debug/drift", instrument(logger, "debug.drift", s.handleDebugDrift))
+	http.HandleFunc("/debug/ctrl", instrument(logger, "debug.ctrl", s.handleDebugCtrl))
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	// Drift detection runs for the life of the process; ctx.Done doubles as
-	// its stop signal during shutdown.
+	// its stop signal during shutdown. The retrain controller (if enabled)
+	// services drift triggers on its own goroutine the same way.
 	go drift.Run(*driftTick, ctx.Done())
+	if s.ctrl != nil {
+		go s.ctrl.Run(ctx.Done())
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -5,7 +5,14 @@
 // Usage:
 //
 //	t3train [-scale 0.4] [-pergroup 8] [-runs 3] [-rounds 200] [-seed 1] \
-//	        [-workers 0] [-stats] [-log text|json] [-o models/t3_default.json]
+//	        [-workers 0] [-stats] [-log text|json] [-o models/t3_default.json] \
+//	        [-registry dir]
+//
+// With -registry the trained model is also written to the versioned model
+// registry (internal/registry) — the same store t3serve's retrain control
+// plane promotes from — stamped with the held-out corpus fingerprint so a
+// later shadow comparison can tell which evaluation set the recorded
+// accuracy refers to.
 //
 // The held-out evaluation doubles as online drift accounting: every
 // prediction is scored against the measured execution time through
@@ -25,6 +32,7 @@ import (
 	"t3/internal/benchdata"
 	"t3/internal/obs"
 	"t3/internal/qerror"
+	"t3/internal/registry"
 )
 
 func main() {
@@ -41,6 +49,7 @@ func main() {
 		loadCorpus = flag.String("load-corpus", "", "retrain from a saved corpus instead of benchmarking")
 		stats      = flag.Bool("stats", false, "dump the observability registry to stderr on exit")
 		logFormat  = flag.String("log", "text", "log format: text|json")
+		regDir     = flag.String("registry", "", "also register the model in this versioned registry directory")
 	)
 	flag.Parse()
 	obs.SetupLogging(os.Stderr, *logFormat, false)
@@ -126,6 +135,29 @@ func main() {
 		fail("saving model", err)
 	}
 	fmt.Printf("model saved to %s\n", *out)
+
+	if *regDir != "" {
+		reg, err := registry.Open(*regDir)
+		if err != nil {
+			fail("opening registry", err)
+		}
+		ver, err := reg.Put(&registry.Artifact{
+			Meta: registry.Meta{
+				CreatedUnixNs:      time.Now().UnixNano(),
+				Source:             "t3train",
+				TrainLabels:        len(corpus.AllTrain()),
+				HoldoutLabels:      len(test),
+				HoldoutFingerprint: benchdata.Fingerprint(test),
+				Note: fmt.Sprintf("t3train -scale %g -pergroup %d -runs %d -rounds %d -seed %d (zero-shot p50 %.3f p90 %.3f)",
+					*scale, *perGroup, *runs, *rounds, *seed, s.P50, s.P90),
+			},
+			GBM: model.Boosted(),
+		})
+		if err != nil {
+			fail("registering model", err)
+		}
+		slog.Info("model registered", "registry", reg.Dir(), "version", ver)
+	}
 	if *stats {
 		fmt.Fprint(os.Stderr, obs.Default.DumpText())
 	}

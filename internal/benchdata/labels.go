@@ -1,0 +1,77 @@
+package benchdata
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+
+	"t3/internal/engine/plan"
+	"t3/internal/workload"
+)
+
+// FromLabels converts a collected label set (internal/workload's parallel
+// runner output) into benched queries, the representation the trainer and
+// evaluator consume. The conversion is a pure reshaping — plans, pipeline
+// decompositions, and measured durations carry over untouched — so a label
+// set collected with any worker count yields the same training examples.
+func FromLabels(ls *workload.LabelSet) []*BenchedQuery {
+	out := make([]*BenchedQuery, 0, len(ls.Labels))
+	for _, l := range ls.Labels {
+		out = append(out, &BenchedQuery{
+			Query: &workload.Query{
+				Name:     l.Name,
+				Group:    l.Group,
+				Instance: ls.Instance,
+				Root:     l.Root,
+			},
+			Pipelines:    l.Pipelines,
+			RunTotals:    l.Totals,
+			PipelineRuns: l.PipelineRuns,
+		})
+	}
+	return out
+}
+
+// Fingerprint hashes the measurement-independent identity of a benched-query
+// set: query names, groups, pipeline decompositions, annotated true
+// cardinalities and selectivities, and the timing-run shape — never the
+// measured durations. It is the same contract as workload.LabelSet's
+// fingerprint: stable across worker counts and repeat runs over the same
+// workload, so a registry artifact can record which held-out set its shadow
+// score refers to.
+func Fingerprint(benched []*BenchedQuery) uint64 {
+	var buf bytes.Buffer
+	for _, b := range benched {
+		buf.WriteByte(0)
+		buf.WriteString(b.Query.Name)
+		buf.WriteByte(0)
+		buf.WriteString(string(b.Query.Group))
+		writeUvarint(&buf, uint64(len(b.PipelineRuns)))
+		writeUvarint(&buf, uint64(len(b.Pipelines)))
+		for _, pl := range b.Pipelines {
+			writeUvarint(&buf, uint64(len(pl.Stages)))
+			for _, s := range pl.Stages {
+				writeUvarint(&buf, uint64(s.Node.Op))
+				writeUvarint(&buf, uint64(s.Stage))
+			}
+		}
+		b.Query.Root.Walk(func(n *plan.Node) {
+			writeUvarint(&buf, math.Float64bits(n.OutCard.True))
+			for i := range n.PredSel {
+				writeUvarint(&buf, math.Float64bits(n.PredSel[i].True))
+			}
+		})
+	}
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range buf.Bytes() {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}

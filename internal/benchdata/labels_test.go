@@ -1,0 +1,64 @@
+package benchdata
+
+import (
+	"testing"
+
+	"t3/internal/engine/plan"
+	"t3/internal/feature"
+	"t3/internal/workload"
+)
+
+func collectSmall(t *testing.T, workers int) *workload.LabelSet {
+	t.Helper()
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_fromlabels", 0.002, 17))
+	ls, err := workload.CollectLabels(in, workload.CollectConfig{
+		Workers: workers, Runs: 2, PerGroup: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+func TestFromLabels(t *testing.T) {
+	ls := collectSmall(t, 2)
+	benched := FromLabels(ls)
+	if len(benched) != len(ls.Labels) {
+		t.Fatalf("FromLabels produced %d queries, want %d", len(benched), len(ls.Labels))
+	}
+	for i, b := range benched {
+		l := ls.Labels[i]
+		if b.Query.Name != l.Name || b.Query.Group != l.Group || b.Query.Instance != ls.Instance {
+			t.Fatalf("query %d identity mismatch: %+v vs label %s/%s", i, b.Query, l.Name, l.Group)
+		}
+		if b.Query.Root != l.Root || len(b.Pipelines) != len(l.Pipelines) {
+			t.Fatalf("query %d plan not carried over", i)
+		}
+		if len(b.PipelineRuns) != len(l.PipelineRuns) || len(b.RunTotals) != len(l.Totals) {
+			t.Fatalf("query %d timing shape mismatch", i)
+		}
+	}
+	// The converted set must featurize: Examples is what the trainer calls.
+	reg := feature.NewDefaultRegistry()
+	xs, ys := Examples(reg, benched, plan.TrueCards, 0)
+	if len(xs) == 0 || len(xs) != len(ys) {
+		t.Fatalf("Examples over converted labels = %d/%d", len(xs), len(ys))
+	}
+}
+
+func TestFingerprintStableAcrossWorkers(t *testing.T) {
+	a := Fingerprint(FromLabels(collectSmall(t, 1)))
+	b := Fingerprint(FromLabels(collectSmall(t, 4)))
+	if a != b {
+		t.Fatalf("fingerprint varies with worker count: %#x vs %#x", a, b)
+	}
+	// And it must distinguish different workloads.
+	in := workload.MustGenerate(workload.TPCHSpec("tpch_fromlabels_other", 0.002, 18))
+	ls, err := workload.CollectLabels(in, workload.CollectConfig{Runs: 1, PerGroup: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := Fingerprint(FromLabels(ls)); c == a {
+		t.Fatal("different workloads share a fingerprint")
+	}
+}

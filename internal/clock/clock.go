@@ -1,0 +1,149 @@
+// Package clock is the injectable time source of the continuous-learning
+// control plane. Production code runs on the wall clock (Real); tests drive
+// a Fake whose Advance delivers ticker fires synchronously, so an entire
+// drift → retrain → promote episode replays deterministically with no real
+// sleeps.
+//
+// The interface is deliberately tiny — Now plus ticker construction — which
+// is all the drift detector's tick loop and the retrain controller's
+// debounce/timestamps need. Anything that wants richer scheduling should
+// compose these primitives rather than widen the interface.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and periodic tickers.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTicker returns a ticker firing every d (d must be > 0).
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the clock-agnostic subset of time.Ticker.
+type Ticker interface {
+	// C is the channel tick times are delivered on. Like time.Ticker, the
+	// channel has a one-element buffer and slow receivers drop ticks.
+	C() <-chan time.Time
+	// Stop turns the ticker off. It does not close C.
+	Stop()
+}
+
+// Real is the wall clock.
+var Real Clock = realClock{}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTicker(d time.Duration) Ticker {
+	return &realTicker{t: time.NewTicker(d)}
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (r *realTicker) C() <-chan time.Time { return r.t.C }
+func (r *realTicker) Stop()               { r.t.Stop() }
+
+// Fake is a manually advanced clock. Now never moves on its own; Advance
+// moves it forward and fires every due ticker in chronological order,
+// delivering each tick before moving past it. Safe for concurrent use.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*fakeTicker
+}
+
+// NewFake returns a fake clock pinned at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d, firing due tickers in time order.
+// Tick delivery matches time.Ticker semantics: the channel holds one
+// pending tick and further fires are dropped until it is drained.
+func (f *Fake) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: negative Advance")
+	}
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		// Find the earliest due ticker fire at or before target.
+		var due *fakeTicker
+		for _, t := range f.tickers {
+			if t.stopped || t.next.After(target) {
+				continue
+			}
+			if due == nil || t.next.Before(due.next) {
+				due = t
+			}
+		}
+		if due == nil {
+			break
+		}
+		f.now = due.next
+		due.next = due.next.Add(due.period)
+		select {
+		case due.c <- f.now:
+		default: // receiver hasn't drained the last tick; drop, like time.Ticker
+		}
+	}
+	f.now = target
+	f.mu.Unlock()
+}
+
+// Tickers returns the number of live tickers on the fake. Tests that hand
+// the fake to a goroutine use it to wait until the goroutine has built its
+// ticker before the first Advance — otherwise that advance fires nothing.
+func (f *Fake) Tickers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.tickers)
+}
+
+// NewTicker returns a ticker firing every d of fake time, driven by Advance.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	f.mu.Lock()
+	t := &fakeTicker{f: f, period: d, next: f.now.Add(d), c: make(chan time.Time, 1)}
+	f.tickers = append(f.tickers, t)
+	f.mu.Unlock()
+	return t
+}
+
+type fakeTicker struct {
+	f       *Fake
+	period  time.Duration
+	next    time.Time
+	c       chan time.Time
+	stopped bool
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.c }
+
+func (t *fakeTicker) Stop() {
+	t.f.mu.Lock()
+	t.stopped = true
+	// Compact the registry so long-lived fakes don't accumulate dead tickers.
+	live := t.f.tickers[:0]
+	for _, o := range t.f.tickers {
+		if !o.stopped {
+			live = append(live, o)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool { return live[i].next.Before(live[j].next) })
+	t.f.tickers = live
+	t.f.mu.Unlock()
+}

@@ -1,0 +1,113 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeNowAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(3 * time.Second)
+	if want := start.Add(3 * time.Second); !f.Now().Equal(want) {
+		t.Fatalf("Now after Advance = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeTickerFiresInOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+
+	// One advance spanning several periods delivers ticks one at a time:
+	// the 1-buffered channel means only the first undrained fire lands.
+	f.Advance(500 * time.Millisecond)
+	select {
+	case at := <-tk.C():
+		t.Fatalf("ticker fired early at %v", at)
+	default:
+	}
+	f.Advance(time.Second)
+	at := <-tk.C()
+	if want := time.Unix(1, 0); !at.Equal(want) {
+		t.Fatalf("first tick at %v, want %v", at, want)
+	}
+
+	// Drain between advances: each period yields exactly one tick at the
+	// right fake time (period boundaries, not advance boundaries).
+	f.Advance(time.Second)
+	at = <-tk.C()
+	if want := time.Unix(2, 0); !at.Equal(want) {
+		t.Fatalf("second tick at %v, want %v", at, want)
+	}
+}
+
+func TestFakeTickerDropsWhenNotDrained(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+
+	// Five periods with nobody reading: only one tick is pending (the
+	// buffered one), matching time.Ticker drop semantics.
+	f.Advance(5 * time.Second)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("pending ticks = %d, want 1 (drop semantics)", n)
+	}
+}
+
+func TestFakeTickerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	tk.Stop()
+	f.Advance(10 * time.Second)
+	select {
+	case at := <-tk.C():
+		t.Fatalf("stopped ticker fired at %v", at)
+	default:
+	}
+}
+
+func TestFakeMultipleTickersInterleave(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	a := f.NewTicker(2 * time.Second)
+	b := f.NewTicker(3 * time.Second)
+	defer a.Stop()
+	defer b.Stop()
+
+	f.Advance(2 * time.Second)
+	if at := <-a.C(); !at.Equal(time.Unix(2, 0)) {
+		t.Fatalf("a fired at %v", at)
+	}
+	f.Advance(time.Second)
+	if at := <-b.C(); !at.Equal(time.Unix(3, 0)) {
+		t.Fatalf("b fired at %v", at)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	before := time.Now()
+	now := Real.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now %v too far before time.Now %v", now, before)
+	}
+	tk := Real.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real ticker never fired")
+	}
+}

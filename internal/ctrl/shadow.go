@@ -1,0 +1,111 @@
+package ctrl
+
+import (
+	"sort"
+	"time"
+
+	"t3/internal/engine/plan"
+	"t3/internal/qerror"
+	"t3/internal/wire"
+	"t3/internal/workload"
+
+	t3 "t3"
+)
+
+// Shadow evaluation: before a candidate model may replace the live one,
+// both predict the same evidence — the held-out labels of the fresh
+// collection plus the replayed worst-misprediction exemplars — and the
+// candidate must win the watched q-error quantile by the configured ratio.
+// The holdout catches candidates that merely memorized the training split;
+// the exemplars catch candidates that fixed the average but not the plans
+// production actually mispredicts.
+
+// ShadowResult is one shadow comparison of candidate vs live.
+type ShadowResult struct {
+	// Quantile is the judged q-error quantile.
+	Quantile float64 `json:"quantile"`
+	// LiveQ and CandidateQ are the models' q-errors at that quantile over
+	// the same evidence.
+	LiveQ      float64 `json:"live_q"`
+	CandidateQ float64 `json:"candidate_q"`
+	// HoldoutN and ExemplarN count the evidence: holdout labels scored and
+	// exemplar frames replayed.
+	HoldoutN  int `json:"holdout_n"`
+	ExemplarN int `json:"exemplar_n"`
+}
+
+// Win reports whether the candidate's quantile beats the live model's by
+// the promote ratio. With no evidence at all the candidate loses: an empty
+// shadow set proves nothing, and the safe default is the incumbent.
+func (r ShadowResult) Win(promoteRatio float64) bool {
+	if r.HoldoutN+r.ExemplarN == 0 {
+		return false
+	}
+	return r.CandidateQ <= promoteRatio*r.LiveQ
+}
+
+// shadowEval scores live and cand over the holdout labels and the exemplar
+// store's replayed frames. live may be nil (cold start): the result then
+// carries only the candidate's numbers and LiveQ stays 0.
+func (c *Controller) shadowEval(live, cand *t3.Model, holdout *workload.LabelSet) ShadowResult {
+	res := ShadowResult{Quantile: c.cfg.ShadowQuantile}
+	var liveQs, candQs []float64
+	var liveScratch, candScratch t3.PredictScratch
+
+	score := func(root *plan.Node, mode plan.CardMode, actual time.Duration) {
+		if root == nil || actual <= 0 {
+			return
+		}
+		cp, _ := cand.PredictPlanScratch(root, mode, &candScratch)
+		candQs = append(candQs, qerror.QError(cp.Seconds(), actual.Seconds()))
+		if live != nil {
+			lp, _ := live.PredictPlanScratch(root, mode, &liveScratch)
+			liveQs = append(liveQs, qerror.QError(lp.Seconds(), actual.Seconds()))
+		}
+	}
+
+	for _, l := range holdout.Labels {
+		score(l.Root, plan.TrueCards, medianDuration(l.Totals))
+		res.HoldoutN++
+	}
+
+	if c.cfg.Exemplars != nil {
+		var dec wire.Decoder
+		for _, e := range c.cfg.Exemplars.Snapshot() {
+			if len(e.Frame) <= wire.HeaderSize {
+				continue
+			}
+			mode, n, err := wire.ParseHeader(e.Frame)
+			if err != nil || wire.HeaderSize+n > len(e.Frame) {
+				continue
+			}
+			root, err := dec.Decode(e.Frame[wire.HeaderSize : wire.HeaderSize+n])
+			if err != nil {
+				continue
+			}
+			score(root, mode, time.Duration(e.ActualNs))
+			res.ExemplarN++
+		}
+	}
+
+	res.CandidateQ = quantileOf(candQs, res.Quantile)
+	res.LiveQ = quantileOf(liveQs, res.Quantile)
+	return res
+}
+
+func quantileOf(qs []float64, p float64) float64 {
+	if len(qs) == 0 {
+		return 0
+	}
+	sort.Float64s(qs)
+	return qerror.Percentile(qs, p)
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"t3/internal/clock"
 	"t3/internal/obs"
 )
 
@@ -57,6 +58,9 @@ type DetectorConfig struct {
 	// ClearAfter is how many consecutive under-clear ticks clear it.
 	// Default 2.
 	ClearAfter int
+	// Clock supplies time to Run's ticker. Default clock.Real; tests and
+	// the retrain controller's deterministic harness inject a fake.
+	Clock clock.Clock `json:"-"`
 }
 
 func (c *DetectorConfig) defaults() {
@@ -80,6 +84,9 @@ func (c *DetectorConfig) defaults() {
 	}
 	if c.ClearAfter == 0 {
 		c.ClearAfter = 2
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real
 	}
 }
 
@@ -237,16 +244,17 @@ func (d *Detector) Status() DriftStatus {
 }
 
 // Run ticks the detector every period until the stop channel closes —
-// convenience wrapper for servers.
+// convenience wrapper for servers. Time comes from the configured Clock, so
+// a fake clock drives the whole loop deterministically in tests.
 func (d *Detector) Run(period time.Duration, stop <-chan struct{}) {
 	if period <= 0 {
 		period = time.Second
 	}
-	t := time.NewTicker(period)
+	t := d.cfg.Clock.NewTicker(period)
 	defer t.Stop()
 	for {
 		select {
-		case now := <-t.C:
+		case now := <-t.C():
 			d.Tick(now)
 		case <-stop:
 			return

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"t3/internal/clock"
 	"t3/internal/obs"
 )
 
@@ -143,5 +144,74 @@ func TestDriftDetectorRunStops(t *testing.T) {
 	}
 	if d.Status().Ticks == 0 {
 		t.Fatal("Run never ticked")
+	}
+}
+
+// TestDriftDetectorRunFakeClock drives Run entirely from a fake clock: no
+// sleeps, every tick accounted for.
+func TestDriftDetectorRunFakeClock(t *testing.T) {
+	fake := clock.NewFake(time.Unix(5000, 0))
+	h := obs.NewHistogram("t3_test_drift_fake", "test", obs.UnitMilli)
+	d := NewDetector(h, DetectorConfig{Epochs: 2, Clock: fake})
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { d.Run(time.Second, stop); close(done) }()
+
+	// Wait until Run has built its ticker — an Advance before that fires
+	// nothing.
+	for deadline := time.Now().Add(time.Second); fake.Tickers() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("Run never created its ticker")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	// Each Advance fires at most one buffered tick; poll Status so the
+	// runner goroutine has drained the previous one before the next fires.
+	const ticks = 5
+	for i := 0; i < ticks; i++ {
+		fake.Advance(time.Second)
+		deadline := time.Now().Add(time.Second)
+		for d.Status().Ticks != uint64(i+1) {
+			if time.Now().After(deadline) {
+				t.Fatalf("tick %d not processed: status %+v", i+1, d.Status())
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop under fake clock")
+	}
+	if got := d.Status().Ticks; got != ticks {
+		t.Fatalf("Run processed %d ticks, want %d", got, ticks)
+	}
+}
+
+// TestDetectorTickZeroAlloc pins the steady-state tick path at zero
+// allocations: drift detection must be free to run at high frequency inside
+// the serving process. (Alarm transitions may allocate for the callback
+// snapshot; steady state must not.)
+func TestDetectorTickZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	h := obs.NewHistogram("t3_test_drift_alloc", "test", obs.UnitMilli)
+	d := NewDetector(h, DetectorConfig{Epochs: 4, MinCount: 10})
+	for i := 0; i < 500; i++ {
+		h.ObserveFloat(1.5)
+	}
+	now := time.Unix(7000, 0)
+	d.Tick(now) // warm the window
+	allocs := testing.AllocsPerRun(500, func() {
+		now = now.Add(time.Second)
+		h.ObserveFloat(1.5)
+		d.Tick(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("Detector.Tick allocates %v times per call, want 0", allocs)
 	}
 }

@@ -184,6 +184,11 @@ func (c *Cache) Invalidate() {
 	obs.ServeCacheInvalidations.Inc()
 }
 
+// Generation returns the current cache generation. It advances by exactly
+// one per Invalidate, so observers (the control plane's e2e checks) can
+// assert that a model swap really flushed the cache.
+func (c *Cache) Generation() uint64 { return c.gen.Load() }
+
 // Len returns the number of live (current-generation) entries, for tests
 // and debugging; it takes every shard lock.
 func (c *Cache) Len() int {

@@ -113,6 +113,15 @@ func (s *Server) SetModel(m *t3.Model) {
 	}
 }
 
+// CacheGeneration reports the prediction cache's generation counter, which
+// advances on every SetModel (0 when caching is disabled).
+func (s *Server) CacheGeneration() uint64 {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Generation()
+}
+
 // CacheLen reports live cache entries (0 when caching is disabled).
 func (s *Server) CacheLen() int {
 	if s.cache == nil {

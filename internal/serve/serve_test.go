@@ -281,6 +281,46 @@ func TestCacheHitRequestPathIsAllocationFree(t *testing.T) {
 	}
 }
 
+// TestCacheHitAllocationFreeAcrossSwap re-checks the zero-alloc guarantee
+// after a model swap: invalidation is a generation bump, so once the cache
+// re-warms against the new model the hit path must again be free — no
+// rehashing, no entry churn, no per-request cleanup debt from the old
+// generation.
+func TestCacheHitAllocationFreeAcrossSwap(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	s := newServer(t, Config{})
+	c := s.getConn()
+	root := benchPlans(t)[3]
+	payload := wire.AppendPlan(nil, root)
+
+	measure := func(stage string) {
+		t.Helper()
+		for i := 0; i < 8; i++ { // warm arena + cache
+			if _, err := s.predictPayload(c, payload, plan.TrueCards); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(500, func() {
+			if _, err := s.predictPayload(c, payload, plan.TrueCards); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: cache-hit path allocates %.2f allocs/op, want 0", stage, allocs)
+		}
+	}
+
+	measure("before swap")
+	m2, err := t3.Load("../../models/t3_default.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetModel(m2)
+	measure("after swap")
+}
+
 // TestConcurrentClientsWithModelSwaps hammers the TCP listener from many
 // connections while models are swapped, under -race in CI.
 func TestConcurrentClientsWithModelSwaps(t *testing.T) {

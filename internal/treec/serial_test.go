@@ -1,0 +1,109 @@
+package treec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"t3/internal/gbdt"
+)
+
+// serialModel trains a small deterministic ensemble for codec tests.
+func serialModel(t *testing.T) *gbdt.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	const n, f = 400, 6
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		v := make([]float64, f)
+		for j := range v {
+			v[j] = rng.Float64() * 10
+		}
+		xs[i] = v
+		ys[i] = v[0]*2 + v[3] - v[5]*0.5 + rng.Float64()*0.1
+	}
+	p := gbdt.DefaultParams()
+	p.NumRounds = 12
+	p.Seed = 5
+	m, _, err := gbdt.Train(p, xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPackedCodecRoundTrip(t *testing.T) {
+	m := serialModel(t)
+	p := Pack(m)
+	enc := AppendPacked(nil, p)
+	dec, err := DecodePacked(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumFeatures != p.NumFeatures || dec.Exact != p.Exact || dec.Base != p.Base {
+		t.Fatalf("header mismatch: got {%d %v %v}, want {%d %v %v}",
+			dec.NumFeatures, dec.Exact, dec.Base, p.NumFeatures, p.Exact, p.Base)
+	}
+	if len(dec.Nodes) != len(p.Nodes) || len(dec.Roots) != len(p.Roots) || len(dec.Leaves) != len(p.Leaves) {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			len(dec.Nodes), len(dec.Roots), len(dec.Leaves), len(p.Nodes), len(p.Roots), len(p.Leaves))
+	}
+
+	// Re-encoding the decoded tier must be byte-identical: the codec is
+	// canonical, which is what registry checksums rely on.
+	if !bytes.Equal(AppendPacked(nil, dec), enc) {
+		t.Fatal("re-encoded packed tier differs from original encoding")
+	}
+
+	// And it must predict bit-identically to the original.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		v := make([]float64, p.NumFeatures)
+		for j := range v {
+			v[j] = rng.Float64() * 10
+		}
+		if got, want := dec.Predict(v), p.Predict(v); got != want {
+			t.Fatalf("vector %d: decoded tier predicts %v, original %v", i, got, want)
+		}
+	}
+}
+
+func TestPackedCodecDeterministic(t *testing.T) {
+	m := serialModel(t)
+	a := AppendPacked(nil, Pack(m))
+	b := AppendPacked(nil, Pack(m))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same model differ")
+	}
+}
+
+func TestPackedCodecRejectsCorruption(t *testing.T) {
+	enc := AppendPacked(nil, Pack(serialModel(t)))
+
+	// Every truncation point must be rejected, never panic.
+	for _, cut := range []int{0, 1, 4, 8, 9, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodePacked(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+
+	// Trailing garbage is corruption, not slack.
+	if _, err := DecodePacked(append(append([]byte(nil), enc...), 0xAB)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+
+	// A wrong format version is refused outright.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 0xFF
+	if _, err := DecodePacked(bad); err == nil {
+		t.Fatal("bogus format version decoded without error")
+	}
+
+	// Hostile counts must not cause huge allocations or panics.
+	hostile := append([]byte(nil), enc[:9]...)
+	hostile = appendU32(hostile, 0xFFFFFFF0) // absurd node count
+	if _, err := DecodePacked(hostile); err == nil {
+		t.Fatal("hostile node count decoded without error")
+	}
+}

@@ -70,9 +70,11 @@ type CollectConfig struct {
 	Seed int64
 	// BatchSize overrides the executor batch size when > 0.
 	BatchSize int
-	// runPlan, when non-nil, replaces plan execution (tests inject
-	// deterministic durations through it).
-	runPlan func(ex *exec.Executor, root *plan.Node, annotate bool) (*exec.RunResult, error)
+	// RunPlan, when non-nil, replaces plan execution. Tests and the
+	// retrain controller's deterministic harness inject synthetic
+	// durations through it (typically: run the real executor, then
+	// overwrite the measured times with a pure function of the plan).
+	RunPlan func(ex *exec.Executor, root *plan.Node, annotate bool) (*exec.RunResult, error)
 }
 
 // CollectLabels generates the instance's workload and executes every query —
@@ -94,7 +96,7 @@ func CollectLabels(inst *Instance, cfg CollectConfig) (*LabelSet, error) {
 	if cfg.PerGroup < 1 {
 		cfg.PerGroup = 1
 	}
-	run := cfg.runPlan
+	run := cfg.RunPlan
 	if run == nil {
 		run = func(ex *exec.Executor, root *plan.Node, annotate bool) (*exec.RunResult, error) {
 			return ex.Run(root, annotate)
@@ -182,6 +184,43 @@ func CollectLabels(inst *Instance, cfg CollectConfig) (*LabelSet, error) {
 		Elapsed:  elapsed,
 		Workers:  pool.Workers(),
 	}, nil
+}
+
+// Split partitions the label set into train and holdout subsets by
+// position: with holdout fraction f, every round(1/f)-th label (the last of
+// each stride) is held out. The split is a pure function of (len(Labels),
+// f) — no randomness, no durations — so the same collection always yields
+// the same partition and the holdout subset's Fingerprint is reproducible
+// anywhere. f is clamped to [0, 0.5]; f = 0 holds nothing out.
+func (ls *LabelSet) Split(f float64) (train, holdout *LabelSet) {
+	if f > 0.5 {
+		f = 0.5
+	}
+	train = &LabelSet{Instance: ls.Instance, Elapsed: ls.Elapsed, Workers: ls.Workers}
+	holdout = &LabelSet{Instance: ls.Instance, Workers: ls.Workers}
+	if f <= 0 || len(ls.Labels) < 2 {
+		train.Labels = append(train.Labels, ls.Labels...)
+		return train, holdout
+	}
+	stride := int(1/f + 0.5)
+	if stride < 2 {
+		stride = 2
+	}
+	for i, l := range ls.Labels {
+		if i%stride == stride-1 {
+			holdout.Labels = append(holdout.Labels, l)
+		} else {
+			train.Labels = append(train.Labels, l)
+		}
+	}
+	if len(holdout.Labels) == 0 && len(ls.Labels) >= 2 {
+		// Tiny sets still get one holdout label so shadow evaluation
+		// always has ground truth to judge on.
+		last := len(train.Labels) - 1
+		holdout.Labels = append(holdout.Labels, train.Labels[last])
+		train.Labels = train.Labels[:last]
+	}
+	return train, holdout
 }
 
 // StableBytes serializes everything about the label set that is independent

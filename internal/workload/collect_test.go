@@ -80,7 +80,7 @@ func TestCollectLabelsFullByteIdentity(t *testing.T) {
 	var ref []byte
 	for _, workers := range []int{1, 4} {
 		ls, err := CollectLabels(in, CollectConfig{
-			Workers: workers, Runs: 3, PerGroup: 2, Seed: 7, runPlan: stub,
+			Workers: workers, Runs: 3, PerGroup: 2, Seed: 7, RunPlan: stub,
 		})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -112,7 +112,7 @@ func TestCollectLabelsParallel(t *testing.T) {
 		mu <- struct{}{}
 		return ex.Run(root, annotate)
 	}
-	ls, err := CollectLabels(in, CollectConfig{Workers: 4, Runs: 1, PerGroup: 1, Seed: 3, runPlan: stub})
+	ls, err := CollectLabels(in, CollectConfig{Workers: 4, Runs: 1, PerGroup: 1, Seed: 3, RunPlan: stub})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestCollectLabelsErrorIsDeterministic(t *testing.T) {
 			}
 			return ex.Run(root, annotate)
 		}
-		_, err := CollectLabels(in, CollectConfig{Workers: workers, Runs: 1, PerGroup: 1, Seed: 3, runPlan: stub})
+		_, err := CollectLabels(in, CollectConfig{Workers: workers, Runs: 1, PerGroup: 1, Seed: 3, RunPlan: stub})
 		if err == nil {
 			t.Fatalf("workers=%d: expected an error", workers)
 		}
@@ -236,5 +236,59 @@ func BenchmarkLabelCollect(b *testing.B) {
 			}
 			b.ReportMetric(float64(queries*b.N)/b.Elapsed().Seconds(), "queries/s")
 		})
+	}
+}
+
+// TestLabelSetSplit checks the deterministic holdout split: stable stride
+// partition, no label lost or duplicated, and reproducible fingerprints.
+func TestLabelSetSplit(t *testing.T) {
+	mk := func(n int) *LabelSet {
+		ls := &LabelSet{Instance: "split_test", Workers: 1}
+		for i := 0; i < n; i++ {
+			ls.Labels = append(ls.Labels, &Label{Name: fmt.Sprintf("q%03d", i)})
+		}
+		return ls
+	}
+
+	ls := mk(16)
+	train, hold := ls.Split(0.25)
+	if len(train.Labels) != 12 || len(hold.Labels) != 4 {
+		t.Fatalf("Split(0.25) over 16 = %d/%d, want 12/4", len(train.Labels), len(hold.Labels))
+	}
+	// Every 4th label (stride 4) goes to the holdout; order is preserved.
+	for i, l := range hold.Labels {
+		if want := fmt.Sprintf("q%03d", i*4+3); l.Name != want {
+			t.Fatalf("holdout[%d] = %s, want %s", i, l.Name, want)
+		}
+	}
+	seen := map[string]bool{}
+	for _, l := range append(append([]*Label(nil), train.Labels...), hold.Labels...) {
+		if seen[l.Name] {
+			t.Fatalf("label %s appears twice after split", l.Name)
+		}
+		seen[l.Name] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("split lost labels: %d of 16 remain", len(seen))
+	}
+
+	// Same input, same fraction → identical partition and fingerprints.
+	train2, hold2 := mk(16).Split(0.25)
+	if train.Fingerprint() != train2.Fingerprint() || hold.Fingerprint() != hold2.Fingerprint() {
+		t.Fatal("Split is not deterministic")
+	}
+
+	// Zero fraction holds nothing out; tiny sets still yield one holdout.
+	tr, ho := mk(9).Split(0)
+	if len(tr.Labels) != 9 || len(ho.Labels) != 0 {
+		t.Fatalf("Split(0) = %d/%d, want 9/0", len(tr.Labels), len(ho.Labels))
+	}
+	tr, ho = mk(2).Split(0.1)
+	if len(tr.Labels) != 1 || len(ho.Labels) != 1 {
+		t.Fatalf("Split(0.1) over 2 = %d/%d, want 1/1", len(tr.Labels), len(ho.Labels))
+	}
+	tr, ho = mk(1).Split(0.5)
+	if len(tr.Labels) != 1 || len(ho.Labels) != 0 {
+		t.Fatalf("Split(0.5) over 1 = %d/%d, want 1/0", len(tr.Labels), len(ho.Labels))
 	}
 }
